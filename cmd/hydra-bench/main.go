@@ -1,0 +1,74 @@
+// Command hydra-bench regenerates every table and figure from the paper's
+// evaluation plus the repository's ablations, printing each next to the
+// published numbers. This is the EXPERIMENTS.md generator.
+//
+// Usage:
+//
+//	hydra-bench [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hydra/internal/experiments"
+	"hydra/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "short runs (20 s simulated instead of 120 s)")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	flag.Parse()
+
+	duration := experiments.DefaultDuration
+	if *quick {
+		duration = experiments.QuickDuration
+	}
+	fmt.Printf("HYDRA evaluation reproduction — seed %d, %v simulated per scenario\n\n",
+		*seed, duration)
+
+	fmt.Println(experiments.RunFigure1().Render())
+
+	jit, err := experiments.RunTable2Figure9(*seed, duration)
+	check(err)
+	fmt.Println(jit.RenderTable2())
+	check(experiments.CheckJitterShape(jit))
+	fmt.Println(jit.RenderFigure9())
+
+	load, err := experiments.RunTable3Figure10(*seed, duration)
+	check(err)
+	fmt.Println(load.RenderTable3())
+	fmt.Println(load.RenderFigure10())
+
+	cli, err := experiments.RunTable4(*seed, duration)
+	check(err)
+	fmt.Println(cli.RenderTable4())
+	fmt.Println(cli.RenderClientL2())
+
+	lay, err := experiments.RunLayoutAblation(60, *seed)
+	check(err)
+	fmt.Println(lay.Render())
+
+	ch, err := experiments.RunChannelAblation(8192, 256, *seed)
+	check(err)
+	fmt.Println(ch.Render())
+
+	ld, err := experiments.RunLoaderAblation(32<<10, *seed)
+	check(err)
+	fmt.Println(ld.Render())
+
+	en, err := experiments.RunEnergy(*seed, duration)
+	check(err)
+	fmt.Println(en.Render())
+
+	_ = sim.Second
+}
+
+func check(err error) {
+	if err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+// Command odflint validates Offcode Description Files and interface
+// definitions: XML well-formedness, required fields, GUID syntax,
+// constraint types, device classes and parameter types.
+//
+// Usage:
+//
+//	odflint file1.odf iface1.xml ...
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"hydra/internal/odf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: odflint <file.odf|file.xml> ...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("%-30s ERROR %v\n", path, err)
+			failed++
+			continue
+		}
+		if strings.Contains(string(raw), "<interface") && !strings.Contains(string(raw), "<offcode") {
+			i, err := odf.ParseInterface(raw)
+			if err != nil {
+				fmt.Printf("%-30s INVALID %v\n", path, err)
+				failed++
+				continue
+			}
+			fmt.Printf("%-30s OK interface %s (GUID %v, %d methods)\n", path, i.Name, i.GUID, len(i.Methods))
+			continue
+		}
+		o, err := odf.Parse(raw)
+		if err != nil {
+			fmt.Printf("%-30s INVALID %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%-30s OK offcode %s (GUID %v, %d imports, %d targets)\n",
+			path, o.BindName, o.GUID, len(o.Imports), len(o.Targets))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

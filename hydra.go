@@ -1,0 +1,139 @@
+// Package hydra is the public facade of the HYDRA reproduction: a
+// programming model and runtime for offloading application components
+// ("Offcodes") to programmable peripheral devices, after Weinsberg et al.,
+// "Tapping into the Fountain of CPUs — On Operating System Support for
+// Programmable Devices", ASPLOS 2008.
+//
+// The package re-exports the supported API surface from the internal
+// packages. A typical OA-application:
+//
+//	eng := hydra.NewEngine(1)
+//	host := hydra.NewHost(eng, "host", hydra.PentiumIV())
+//	b := hydra.NewBus(eng, hydra.DefaultBusConfig())
+//	nic := hydra.NewDevice(eng, host, b, hydra.XScaleNIC("nic0"))
+//	dep := hydra.NewDepot()
+//	rt := hydra.NewRuntime(eng, host, b, dep, hydra.RuntimeConfig{})
+//	rt.RegisterDevice(nic)
+//	// stock the depot with ODFs, objects and factories, then:
+//	rt.Deploy("/offcodes/checksum.odf", func(h *hydra.Handle, err error) { ... })
+//	eng.Run(hydra.Seconds(1))
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package hydra
+
+import (
+	"hydra/internal/bus"
+	"hydra/internal/channel"
+	"hydra/internal/core"
+	"hydra/internal/depot"
+	"hydra/internal/device"
+	"hydra/internal/guid"
+	"hydra/internal/hostos"
+	"hydra/internal/layout"
+	"hydra/internal/objfile"
+	"hydra/internal/odf"
+	"hydra/internal/sim"
+)
+
+// Simulation substrate.
+type (
+	// Engine is the discrete-event simulation engine all models share.
+	Engine = sim.Engine
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Host is a simulated host machine (CPU, scheduler, L2).
+	Host = hostos.Machine
+	// HostConfig configures a host.
+	HostConfig = hostos.Config
+	// Bus is the host I/O interconnect.
+	Bus = bus.Bus
+	// BusConfig configures the interconnect.
+	BusConfig = bus.Config
+	// Device is a programmable peripheral.
+	Device = device.Device
+	// DeviceConfig configures a device.
+	DeviceConfig = device.Config
+	// DeviceClass describes a device class for ODF target matching.
+	DeviceClass = device.Class
+)
+
+// HYDRA programming model and runtime.
+type (
+	// Runtime is the HYDRA runtime: deployment, channels, resources.
+	Runtime = core.Runtime
+	// RuntimeConfig tunes resolver, objective and loader choices.
+	RuntimeConfig = core.Config
+	// Handle identifies a deployed Offcode instance.
+	Handle = core.Handle
+	// Offcode is the behaviour contract (IOffcode).
+	Offcode = core.Offcode
+	// OffcodeContext is passed to Offcode.Initialize.
+	OffcodeContext = core.Context
+	// ChannelProvider builds channels for a device.
+	ChannelProvider = core.ChannelProvider
+	// Depot is the Offcode library (ODFs, objects, factories).
+	Depot = depot.Depot
+	// Channel is a communication pathway between endpoints.
+	Channel = channel.Channel
+	// ChannelConfig mirrors the paper's channel configuration.
+	ChannelConfig = channel.Config
+	// Endpoint is one end of a channel.
+	Endpoint = channel.Endpoint
+	// ODF is a parsed Offcode Description File.
+	ODF = odf.ODF
+	// Interface is a parsed Offcode interface definition.
+	Interface = odf.Interface
+	// GUID names Offcodes and interfaces.
+	GUID = guid.GUID
+	// Object is an HOBJ Offcode binary.
+	Object = objfile.Object
+	// LayoutGraph is the offloading layout graph of §5.
+	LayoutGraph = layout.Graph
+	// Placement maps Offcodes to targets.
+	Placement = layout.Placement
+)
+
+// Constructors and helpers.
+var (
+	// NewEngine creates a simulation engine with the given seed.
+	NewEngine = sim.NewEngine
+	// NewHost creates a host machine.
+	NewHost = hostos.New
+	// PentiumIV is the paper's testbed host profile.
+	PentiumIV = hostos.PentiumIV
+	// NewBus creates the I/O interconnect.
+	NewBus = bus.New
+	// DefaultBusConfig is a PCI-class interconnect.
+	DefaultBusConfig = bus.DefaultConfig
+	// NewDevice attaches a programmable device.
+	NewDevice = device.New
+	// XScaleNIC is a programmable-NIC profile like the paper's 3Com card.
+	XScaleNIC = device.XScaleNIC
+	// NewDepot creates an empty Offcode depot.
+	NewDepot = depot.New
+	// NewRuntime creates the HYDRA runtime on a host.
+	NewRuntime = core.New
+	// DefaultChannelConfig is the Figure 3 channel: reliable, zero-copy,
+	// sequential unicast.
+	DefaultChannelConfig = channel.DefaultConfig
+	// ParseODF parses an Offcode Description File.
+	ParseODF = odf.Parse
+	// ParseInterface parses an interface definition.
+	ParseInterface = odf.ParseInterface
+	// SynthesizeObject fabricates an HOBJ Offcode binary.
+	SynthesizeObject = objfile.Synthesize
+	// Seconds converts seconds to virtual Time.
+	Seconds = sim.Seconds
+)
+
+// Layout resolvers and objectives.
+const (
+	// ResolveGreedy is the fast layout heuristic.
+	ResolveGreedy = core.ResolveGreedy
+	// ResolveILP is the §5 optimal integer program.
+	ResolveILP = core.ResolveILP
+	// MaximizeOffload offloads as many Offcodes as possible.
+	MaximizeOffload = layout.MaximizeOffload
+	// MaximizeBusUsage maximizes offloaded bandwidth under bus budgets.
+	MaximizeBusUsage = layout.MaximizeBusUsage
+)

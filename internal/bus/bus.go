@@ -1,0 +1,186 @@
+// Package bus models the host I/O interconnect (PCI/PCIe-like) that carries
+// every transfer between main memory and the peripheral devices.
+//
+// The paper's central performance argument is that offloading eliminates
+// "expensive memory bus crossings" (§1.1), so the bus model is the spine of
+// the reproduction: it serializes transfers through a shared link with a
+// fixed per-transaction arbitration overhead and a byte rate, and it accounts
+// traffic per agent so the experiments can report bus pressure.
+//
+// Per the paper's footnote 2, a PCIe-style bus can deliver one packet to
+// multiple peripherals in a single transaction; TransferMulti models this.
+package bus
+
+import (
+	"sort"
+
+	"hydra/internal/sim"
+)
+
+// Agent identifies a bus master or target (a device or main memory).
+type Agent string
+
+// MainMemory is the agent name for host DRAM.
+const MainMemory Agent = "memory"
+
+// Config sets the physical characteristics of the interconnect.
+type Config struct {
+	// BytesPerSec is the usable bus bandwidth.
+	BytesPerSec float64
+	// TransactionOverhead is the fixed arbitration + header cost per
+	// transaction, independent of payload size.
+	TransactionOverhead sim.Time
+	// MulticastCapable reports whether a single transaction can target
+	// multiple agents (PCIe peer-to-peer multicast, paper §1 fn.2).
+	MulticastCapable bool
+}
+
+// DefaultConfig approximates a 32-bit/66 MHz PCI segment: ~266 MB/s with a
+// ~0.5 µs transaction setup cost. The absolute values only need to be
+// plausible; experiments depend on relative costs.
+func DefaultConfig() Config {
+	return Config{
+		BytesPerSec:         266e6,
+		TransactionOverhead: 500 * sim.Nanosecond,
+		MulticastCapable:    true,
+	}
+}
+
+// Stats aggregates per-agent traffic accounting.
+type Stats struct {
+	Transactions uint64
+	Bytes        uint64
+}
+
+// Bus is the shared interconnect. Transfers are serialized: a transfer
+// issued while another is in flight queues behind it (FIFO), which produces
+// realistic contention when several devices DMA concurrently.
+type Bus struct {
+	eng      *sim.Engine
+	cfg      Config
+	busy     sim.Time // time the bus becomes free
+	wireTime sim.Time // cumulative occupied time
+
+	total   Stats
+	byAgent map[Agent]*Stats
+}
+
+// New creates a bus on the given engine.
+func New(eng *sim.Engine, cfg Config) *Bus {
+	if cfg.BytesPerSec <= 0 {
+		panic("bus: non-positive bandwidth")
+	}
+	return &Bus{eng: eng, cfg: cfg, byAgent: make(map[Agent]*Stats)}
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// TransferTime reports the raw wire time for size bytes, excluding queuing.
+func (b *Bus) TransferTime(size int) sim.Time {
+	if size < 0 {
+		panic("bus: negative transfer size")
+	}
+	return b.cfg.TransactionOverhead +
+		sim.Time(float64(size)/b.cfg.BytesPerSec*float64(sim.Second))
+}
+
+// Transfer moves size bytes from src to dst and invokes done (if non-nil)
+// when the transaction completes. It returns the completion time.
+func (b *Bus) Transfer(src, dst Agent, size int, done func()) sim.Time {
+	return b.transfer(src, []Agent{dst}, size, done)
+}
+
+// TransferMulti moves size bytes from src to every agent in dsts. On a
+// multicast-capable bus this is a single transaction (single wire time);
+// otherwise it degrades to one transaction per destination, back to back.
+func (b *Bus) TransferMulti(src Agent, dsts []Agent, size int, done func()) sim.Time {
+	if len(dsts) == 0 {
+		panic("bus: multicast with no destinations")
+	}
+	if b.cfg.MulticastCapable || len(dsts) == 1 {
+		return b.transfer(src, dsts, size, done)
+	}
+	var finish sim.Time
+	remaining := len(dsts)
+	for _, d := range dsts {
+		finish = b.transfer(src, []Agent{d}, size, func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+	return finish
+}
+
+func (b *Bus) transfer(src Agent, dsts []Agent, size int, done func()) sim.Time {
+	dur := b.TransferTime(size)
+	start := b.eng.Now()
+	if b.busy > start {
+		start = b.busy
+	}
+	finish := start + dur
+	b.busy = finish
+	b.wireTime += dur
+
+	b.total.Transactions++
+	b.total.Bytes += uint64(size)
+	b.account(src).Transactions++
+	b.account(src).Bytes += uint64(size)
+	for _, d := range dsts {
+		b.account(d).Transactions++
+		b.account(d).Bytes += uint64(size)
+	}
+
+	if done != nil {
+		b.eng.At(finish, done)
+	}
+	return finish
+}
+
+func (b *Bus) account(a Agent) *Stats {
+	s, ok := b.byAgent[a]
+	if !ok {
+		s = &Stats{}
+		b.byAgent[a] = s
+	}
+	return s
+}
+
+// Total reports aggregate traffic since creation.
+func (b *Bus) Total() Stats { return b.total }
+
+// AgentStats reports traffic attributed to a single agent.
+func (b *Bus) AgentStats(a Agent) Stats {
+	if s, ok := b.byAgent[a]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// Agents lists all agents that have appeared on the bus, sorted.
+func (b *Bus) Agents() []Agent {
+	out := make([]Agent, 0, len(b.byAgent))
+	for a := range b.byAgent {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Utilization reports the fraction of elapsed virtual time the bus has spent
+// transferring data, over [0, now]. Queued-but-unstarted work counts because
+// wire time is committed at issue; utilization is therefore an upper bound
+// when transfers are still in flight.
+func (b *Bus) Utilization() float64 {
+	now := b.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	w := b.wireTime
+	if w > now {
+		w = now
+	}
+	return float64(w) / float64(now)
+}

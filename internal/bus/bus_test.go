@@ -1,0 +1,153 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/sim"
+)
+
+func testBus(multicast bool) (*sim.Engine, *Bus) {
+	eng := sim.NewEngine(1)
+	cfg := Config{
+		BytesPerSec:         1e9, // 1 GB/s: 1 byte per ns, easy arithmetic
+		TransactionOverhead: 100,
+		MulticastCapable:    multicast,
+	}
+	return eng, New(eng, cfg)
+}
+
+func TestTransferTime(t *testing.T) {
+	_, b := testBus(true)
+	if got := b.TransferTime(0); got != 100 {
+		t.Fatalf("TransferTime(0) = %v, want 100", got)
+	}
+	if got := b.TransferTime(1000); got != 1100 {
+		t.Fatalf("TransferTime(1000) = %v, want 1100", got)
+	}
+}
+
+func TestTransferCompletion(t *testing.T) {
+	eng, b := testBus(true)
+	var doneAt sim.Time
+	b.Transfer("nic", MainMemory, 1000, func() { doneAt = eng.Now() })
+	eng.RunAll()
+	if doneAt != 1100 {
+		t.Fatalf("transfer completed at %v, want 1100", doneAt)
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	eng, b := testBus(true)
+	var first, second sim.Time
+	b.Transfer("nic", MainMemory, 1000, func() { first = eng.Now() })
+	b.Transfer("gpu", MainMemory, 1000, func() { second = eng.Now() })
+	eng.RunAll()
+	if first != 1100 {
+		t.Fatalf("first done at %v", first)
+	}
+	if second != 2200 {
+		t.Fatalf("second done at %v, want queued behind first (2200)", second)
+	}
+}
+
+func TestMulticastSingleTransaction(t *testing.T) {
+	eng, b := testBus(true)
+	var doneAt sim.Time
+	b.TransferMulti("nic", []Agent{"gpu", "disk"}, 1000, func() { doneAt = eng.Now() })
+	eng.RunAll()
+	if doneAt != 1100 {
+		t.Fatalf("multicast done at %v, want single transaction (1100)", doneAt)
+	}
+	if b.Total().Transactions != 1 {
+		t.Fatalf("transactions = %d, want 1", b.Total().Transactions)
+	}
+}
+
+func TestMulticastFallback(t *testing.T) {
+	eng, b := testBus(false)
+	var doneAt sim.Time
+	calls := 0
+	b.TransferMulti("nic", []Agent{"gpu", "disk"}, 1000, func() { calls++; doneAt = eng.Now() })
+	eng.RunAll()
+	if doneAt != 2200 {
+		t.Fatalf("fallback multicast done at %v, want 2200", doneAt)
+	}
+	if calls != 1 {
+		t.Fatalf("done called %d times, want once", calls)
+	}
+	if b.Total().Transactions != 2 {
+		t.Fatalf("transactions = %d, want 2", b.Total().Transactions)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	eng, b := testBus(true)
+	b.Transfer("nic", MainMemory, 500, nil)
+	b.Transfer("nic", "gpu", 300, nil)
+	eng.RunAll()
+	if got := b.AgentStats("nic"); got.Bytes != 800 || got.Transactions != 2 {
+		t.Fatalf("nic stats = %+v", got)
+	}
+	if got := b.AgentStats(MainMemory); got.Bytes != 500 {
+		t.Fatalf("memory stats = %+v", got)
+	}
+	if got := b.AgentStats("unused"); got.Bytes != 0 {
+		t.Fatalf("unused agent has traffic: %+v", got)
+	}
+	agents := b.Agents()
+	if len(agents) != 3 {
+		t.Fatalf("agents = %v", agents)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng, b := testBus(true)
+	b.Transfer("nic", MainMemory, 900, func() {}) // 1000ns wire time
+	eng.RunAll()                                  // now = 1000
+	eng.Schedule(1000, func() {})
+	eng.RunAll() // now = 2000
+	u := b.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	_, b := testBus(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative size")
+		}
+	}()
+	b.TransferTime(-1)
+}
+
+// Property: completion times are monotone in issue order (FIFO bus), and
+// total bytes equal the sum of transfer sizes.
+func TestFIFOProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		eng, b := testBus(true)
+		var completions []sim.Time
+		var total uint64
+		for _, s := range sizes {
+			total += uint64(s)
+			b.Transfer("a", "b", int(s), func() {
+				completions = append(completions, eng.Now())
+			})
+		}
+		eng.RunAll()
+		if len(completions) != len(sizes) {
+			return false
+		}
+		for i := 1; i < len(completions); i++ {
+			if completions[i] < completions[i-1] {
+				return false
+			}
+		}
+		return b.Total().Bytes == total
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,422 @@
+// Package channel implements HYDRA's communication channels (§3.2, §4.1):
+// the bidirectional pathways connecting OA-applications and Offcodes.
+//
+// A channel is created by one endpoint with a chosen configuration — unicast
+// or multicast, reliable or unreliable, sequential or concurrent dispatch,
+// zero-copy or staged buffering — and then Offcode endpoints are connected
+// to it. Transfers ride the simulated bus exactly as §4.1's zero-copy NIC
+// channel does: descriptor rings bound the number of in-flight messages
+// (InRing toward the device, pre-posted OutRing entries for spontaneous
+// device→host messages), reliable channels queue when descriptors run out
+// ("careful not to drop messages even though buffer descriptors are not
+// available") while unreliable channels drop, and completions recycle ring
+// slots.
+//
+// The cost model is what distinguishes endpoint placements:
+//
+//   - host→device: optional kernel staging copy (walks L2), then device DMA
+//     from pinned host memory (the paper's Memory Management pinning).
+//   - device→host: DMA into a host ring buffer (invalidating those cache
+//     lines), an interrupt, then handler dispatch; a staged read copies
+//     once more.
+//   - device→device: a peer-to-peer bus transaction, no host involvement —
+//     the TiVoPC NIC→GPU path.
+//   - host→host: a plain in-memory copy.
+package channel
+
+import (
+	"errors"
+	"fmt"
+
+	"hydra/internal/bus"
+	"hydra/internal/cache"
+	"hydra/internal/device"
+	"hydra/internal/hostos"
+	"hydra/internal/sim"
+)
+
+// SyncMode selects handler dispatch semantics (§3.2 "synchronization
+// requirements").
+type SyncMode int
+
+// Sync modes.
+const (
+	// SyncSequential serializes handler invocations per endpoint.
+	SyncSequential SyncMode = iota
+	// SyncConcurrent dispatches each message as it arrives.
+	SyncConcurrent
+)
+
+// Config mirrors the paper's ChannelConfig (Figure 3).
+type Config struct {
+	Multicast     bool
+	Reliable      bool
+	Sync          SyncMode
+	ZeroCopyRead  bool // DIRECT_READ: no staging copy at the receiver
+	ZeroCopyWrite bool // DIRECT_WRITE: no staging copy at the sender
+	RingEntries   int  // per-direction descriptor ring depth
+	MaxMessage    int  // largest payload; sizes ring buffers
+}
+
+// DefaultConfig is a reliable, zero-copy, sequential unicast channel — the
+// configuration built in the paper's Figure 3 listing.
+func DefaultConfig() Config {
+	return Config{
+		Reliable:      true,
+		Sync:          SyncSequential,
+		ZeroCopyRead:  true,
+		ZeroCopyWrite: true,
+		RingEntries:   64,
+		MaxMessage:    64 << 10,
+	}
+}
+
+// OOBConfig is the runtime's default connectionless out-of-band channel:
+// small, staged, reliable — "used to communicate with the Offcode ... for
+// initialization and control traffic that is not performance critical".
+func OOBConfig() Config {
+	return Config{
+		Reliable:    true,
+		Sync:        SyncSequential,
+		RingEntries: 8,
+		MaxMessage:  4 << 10,
+	}
+}
+
+// Errors.
+var (
+	ErrClosed     = errors.New("channel: closed")
+	ErrTooLarge   = errors.New("channel: payload exceeds MaxMessage")
+	ErrNoPeer     = errors.New("channel: no connected peer")
+	ErrNotAllowed = errors.New("channel: operation not allowed by config")
+)
+
+// Stats counts channel activity.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // unreliable overruns
+	Queued    uint64 // reliable sends that waited for a descriptor
+	Bytes     uint64
+}
+
+// Handler consumes a delivered payload.
+type Handler func(data []byte)
+
+// Endpoint is one end of a channel.
+type Endpoint struct {
+	ch   *Channel
+	name string
+
+	// Execution context: exactly one of host/dev is set.
+	host *hostos.Machine
+	task *hostos.Task
+	dev  *device.Device
+
+	// ringBuf is the host memory region backing this endpoint's receive
+	// ring (host endpoints only); DMA deliveries land here and invalidate
+	// the corresponding cache lines.
+	ringBuf  uint64
+	ringSize int
+
+	handler   Handler
+	inbox     [][]byte // poll-mode queue (no handler installed)
+	seqFns    []func() // sequential dispatch backlog
+	dispatchB bool     // a sequential dispatch is running
+	closed    bool
+}
+
+// Name identifies the endpoint for diagnostics.
+func (e *Endpoint) Name() string { return e.name }
+
+// OnDevice reports whether the endpoint executes on a device.
+func (e *Endpoint) OnDevice() bool { return e.dev != nil }
+
+// Channel is the shared pathway between a creator endpoint and one or more
+// connected endpoints.
+type Channel struct {
+	eng *sim.Engine
+	b   *bus.Bus
+	cfg Config
+
+	creator *Endpoint
+	peers   []*Endpoint
+
+	// credits[dir] is per-direction ring availability; dir 0 is
+	// creator→peers (InRing), dir 1 is peers→creator (OutRing).
+	credits [2]int
+	pending [2][]func() // reliable sends awaiting a descriptor
+
+	stats  Stats
+	closed bool
+}
+
+// New creates a channel owned by the creator endpoint.
+func New(eng *sim.Engine, b *bus.Bus, cfg Config, creator *Endpoint) (*Channel, error) {
+	if cfg.RingEntries <= 0 {
+		return nil, fmt.Errorf("channel: ring must have entries")
+	}
+	if cfg.MaxMessage <= 0 {
+		return nil, fmt.Errorf("channel: MaxMessage must be positive")
+	}
+	ch := &Channel{eng: eng, b: b, cfg: cfg, creator: creator}
+	ch.credits[0] = cfg.RingEntries
+	ch.credits[1] = cfg.RingEntries
+	creator.ch = ch
+	creator.allocRing()
+	return ch, nil
+}
+
+// HostEndpoint builds an endpoint executing on a host machine.
+func HostEndpoint(m *hostos.Machine, name string) *Endpoint {
+	return &Endpoint{name: name, host: m, task: m.NewTask("chan:" + name)}
+}
+
+// DeviceEndpoint builds an endpoint executing on a device.
+func DeviceEndpoint(d *device.Device, name string) *Endpoint {
+	return &Endpoint{name: name, dev: d}
+}
+
+func (e *Endpoint) allocRing() {
+	if e.host != nil && e.ringBuf == 0 {
+		e.ringSize = e.ch.cfg.RingEntries * e.ch.cfg.MaxMessage
+		if e.ringSize > 1<<20 {
+			e.ringSize = 1 << 20 // cap modeled footprint
+		}
+		e.ringBuf = e.host.Alloc(e.ringSize)
+	}
+}
+
+// Config returns the channel configuration.
+func (c *Channel) Config() Config { return c.cfg }
+
+// Stats returns activity counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Creator returns the owning endpoint.
+func (c *Channel) Creator() *Endpoint { return c.creator }
+
+// Connect attaches an Offcode endpoint (the paper's ConnectOffcode). The
+// second endpoint is constructed at the target implicitly; connecting more
+// than one peer requires a multicast channel.
+func (c *Channel) Connect(peer *Endpoint) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if len(c.peers) >= 1 && !c.cfg.Multicast {
+		return fmt.Errorf("%w: unicast channel already connected", ErrNotAllowed)
+	}
+	peer.ch = c
+	peer.allocRing()
+	c.peers = append(c.peers, peer)
+	return nil
+}
+
+// Close tears the channel down; further sends fail.
+func (c *Channel) Close() {
+	c.closed = true
+	c.creator.closed = true
+	for _, p := range c.peers {
+		p.closed = true
+	}
+	c.pending[0] = nil
+	c.pending[1] = nil
+}
+
+// InstallCallHandler registers the callback "invoked by the runtime
+// whenever data is available on the channel, as opposed to requiring the
+// application to poll" (§3.2).
+func (e *Endpoint) InstallCallHandler(h Handler) { e.handler = h }
+
+// Poll reports how many messages wait in the poll-mode inbox.
+func (e *Endpoint) Poll() int { return len(e.inbox) }
+
+// Read pops one message from the poll-mode inbox.
+func (e *Endpoint) Read() ([]byte, bool) {
+	if len(e.inbox) == 0 {
+		return nil, false
+	}
+	m := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return m, true
+}
+
+// Write sends payload toward the peer side: creator→all peers, or
+// peer→creator. Reliable channels queue when the ring is full; unreliable
+// channels drop and count it.
+func (e *Endpoint) Write(payload []byte) error {
+	c := e.ch
+	if c == nil {
+		return ErrNoPeer
+	}
+	if c.closed || e.closed {
+		return ErrClosed
+	}
+	if len(payload) > c.cfg.MaxMessage {
+		return ErrTooLarge
+	}
+	dir := 0
+	var dests []*Endpoint
+	if e == c.creator {
+		if len(c.peers) == 0 {
+			return ErrNoPeer
+		}
+		dests = c.peers
+	} else {
+		dir = 1
+		dests = []*Endpoint{c.creator}
+	}
+
+	data := append([]byte(nil), payload...)
+	send := func() { c.transmit(e, dests, dir, data) }
+
+	if c.credits[dir] <= 0 {
+		if !c.cfg.Reliable {
+			c.stats.Dropped++
+			return nil
+		}
+		c.stats.Queued++
+		c.pending[dir] = append(c.pending[dir], send)
+		return nil
+	}
+	c.credits[dir]--
+	send()
+	return nil
+}
+
+// transmit models the sender-side cost, the wire, and receiver dispatch.
+func (c *Channel) transmit(src *Endpoint, dests []*Endpoint, dir int, data []byte) {
+	c.stats.Sent++
+	c.stats.Bytes += uint64(len(data))
+
+	afterPrep := func() {
+		remaining := len(dests)
+		for _, dst := range dests {
+			dst := dst
+			c.wire(src, dst, len(data), func() {
+				c.deliver(dst, dir, data, func() {
+					remaining--
+					if remaining == 0 {
+						c.releaseCredit(dir)
+					}
+				})
+			})
+		}
+	}
+
+	// Sender-side preparation.
+	switch {
+	case src.host != nil:
+		cycles := uint64(1500) // syscall + descriptor post
+		if !c.cfg.ZeroCopyWrite {
+			// Staging copy user→kernel: walks the cache, costs cycles.
+			srcAddr := src.host.Alloc(0) // current bump point as a proxy
+			src.task.Copy(cache.Kernel, srcAddr, src.ringBuf, len(data), nil)
+			cycles += src.host.CopyCycles(len(data))
+		}
+		src.task.Syscall(cycles, afterPrep)
+	case src.dev != nil:
+		src.dev.Exec(500, afterPrep)
+	default:
+		afterPrep()
+	}
+}
+
+// wire moves the payload between execution domains.
+func (c *Channel) wire(src, dst *Endpoint, size int, done func()) {
+	switch {
+	case src.host != nil && dst.dev != nil:
+		// Device pulls from pinned host memory.
+		dst.dev.DMAFromHost(src.ringBuf, size, done)
+	case src.dev != nil && dst.host != nil:
+		// Device pushes into the host ring; lines are invalidated.
+		src.dev.DMAToHost(dst.ringBuf, size, done)
+	case src.dev != nil && dst.dev != nil:
+		src.dev.DMAToPeer(dst.dev, size, done)
+	default:
+		// host→host: one in-memory copy, no bus.
+		src.task.Copy(cache.Kernel, src.ringBuf, dst.ringBuf, size, done)
+	}
+}
+
+// deliver dispatches at the receiver and recycles the descriptor.
+func (c *Channel) deliver(dst *Endpoint, dir int, data []byte, done func()) {
+	finish := func() {
+		c.stats.Delivered++
+		done()
+	}
+	run := func(complete func()) {
+		if dst.closed {
+			complete()
+			return
+		}
+		if dst.handler == nil {
+			dst.inbox = append(dst.inbox, data)
+			complete()
+			return
+		}
+		switch {
+		case dst.host != nil:
+			// Interrupt, then handler context.
+			dst.host.Interrupt(dst.name, 600, func() {
+				cycles := uint64(2000)
+				if !c.cfg.ZeroCopyRead {
+					dst.task.TouchRange(cache.Kernel, dst.ringBuf, len(data))
+					cycles += dst.host.CopyCycles(len(data))
+				} else {
+					// Zero copy still reads the DMA-ed payload once.
+					dst.task.TouchRange(cache.Kernel, dst.ringBuf, len(data))
+				}
+				dst.task.Syscall(cycles, func() {
+					dst.handler(data)
+					complete()
+				})
+			})
+		case dst.dev != nil:
+			dst.dev.Exec(800, func() {
+				dst.handler(data)
+				complete()
+			})
+		default:
+			dst.handler(data)
+			complete()
+		}
+	}
+
+	if c.cfg.Sync == SyncSequential {
+		seq := func() {
+			run(func() {
+				finish()
+				dst.dispatchB = false
+				dst.pumpSequential(c)
+			})
+		}
+		dst.seqFns = append(dst.seqFns, seq)
+		dst.pumpSequential(c)
+		return
+	}
+	run(finish)
+}
+
+func (e *Endpoint) pumpSequential(c *Channel) {
+	if e.dispatchB || len(e.seqFns) == 0 {
+		return
+	}
+	e.dispatchB = true
+	fn := e.seqFns[0]
+	e.seqFns = e.seqFns[1:]
+	fn()
+}
+
+func (c *Channel) releaseCredit(dir int) {
+	if len(c.pending[dir]) > 0 {
+		next := c.pending[dir][0]
+		c.pending[dir] = c.pending[dir][1:]
+		next() // reuse the credit immediately
+		return
+	}
+	c.credits[dir]++
+	if c.credits[dir] > c.cfg.RingEntries {
+		c.credits[dir] = c.cfg.RingEntries
+	}
+}

@@ -1,0 +1,341 @@
+package channel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/bus"
+	"hydra/internal/cache"
+	"hydra/internal/device"
+	"hydra/internal/hostos"
+	"hydra/internal/sim"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	host *hostos.Machine
+	b    *bus.Bus
+	nic  *device.Device
+	gpu  *device.Device
+}
+
+func newRig() *rig {
+	eng := sim.NewEngine(21)
+	host := hostos.New(eng, "host", hostos.PentiumIV())
+	b := bus.New(eng, bus.DefaultConfig())
+	return &rig{
+		eng: eng, host: host, b: b,
+		nic: device.New(eng, host, b, device.XScaleNIC("nic0")),
+		gpu: device.New(eng, host, b, device.Config{
+			Name:      "gpu0",
+			Class:     device.Class{ID: 3, Name: "Display Device", Bus: "pci"},
+			CPUFreqHz: 500e6, LocalMemBytes: 4 << 20,
+		}),
+	}
+}
+
+func (r *rig) hostToDev(t *testing.T, cfg Config) (*Channel, *Endpoint, *Endpoint) {
+	t.Helper()
+	app := HostEndpoint(r.host, "app")
+	ch, err := New(r.eng, r.b, cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := DeviceEndpoint(r.nic, "offcode")
+	if err := ch.Connect(oc); err != nil {
+		t.Fatal(err)
+	}
+	return ch, app, oc
+}
+
+func TestHostToDeviceDelivery(t *testing.T) {
+	r := newRig()
+	_, app, oc := r.hostToDev(t, DefaultConfig())
+	var got []byte
+	oc.InstallCallHandler(func(data []byte) { got = data })
+	if err := app.Write([]byte("hello device")); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	if string(got) != "hello device" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDeviceToHostDelivery(t *testing.T) {
+	r := newRig()
+	_, app, oc := r.hostToDev(t, DefaultConfig())
+	var got []byte
+	app.InstallCallHandler(func(data []byte) { got = data })
+	if err := oc.Write([]byte("spontaneous")); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	if string(got) != "spontaneous" {
+		t.Fatalf("got %q", got)
+	}
+	if r.host.Interrupts() == 0 {
+		t.Fatal("device→host delivery did not interrupt the host")
+	}
+}
+
+func TestPayloadCopiedNotAliased(t *testing.T) {
+	r := newRig()
+	_, app, oc := r.hostToDev(t, DefaultConfig())
+	var got []byte
+	oc.InstallCallHandler(func(data []byte) { got = data })
+	buf := []byte{1, 2, 3}
+	app.Write(buf)
+	buf[0] = 99
+	r.eng.RunAll()
+	if got[0] != 1 {
+		t.Fatal("payload aliased sender buffer")
+	}
+}
+
+func TestPollMode(t *testing.T) {
+	r := newRig()
+	_, app, oc := r.hostToDev(t, DefaultConfig())
+	app.Write([]byte("a"))
+	app.Write([]byte("b"))
+	r.eng.RunAll()
+	if oc.Poll() != 2 {
+		t.Fatalf("poll = %d", oc.Poll())
+	}
+	m1, ok1 := oc.Read()
+	m2, ok2 := oc.Read()
+	_, ok3 := oc.Read()
+	if !ok1 || !ok2 || ok3 {
+		t.Fatal("read sequence broken")
+	}
+	if string(m1) != "a" || string(m2) != "b" {
+		t.Fatalf("messages out of order: %q %q", m1, m2)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	r := newRig()
+	_, app, oc := r.hostToDev(t, DefaultConfig())
+	var got []byte
+	oc.InstallCallHandler(func(data []byte) { got = append(got, data[0]) })
+	for i := 0; i < 20; i++ {
+		app.Write([]byte{byte(i)})
+	}
+	r.eng.RunAll()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestUnicastRejectsSecondPeer(t *testing.T) {
+	r := newRig()
+	ch, _, _ := r.hostToDev(t, DefaultConfig())
+	if err := ch.Connect(DeviceEndpoint(r.gpu, "second")); err == nil {
+		t.Fatal("unicast accepted second peer")
+	}
+}
+
+func TestMulticastDelivery(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Multicast = true
+	app := HostEndpoint(r.host, "app")
+	ch, err := New(r.eng, r.b, cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := DeviceEndpoint(r.nic, "a")
+	b := DeviceEndpoint(r.gpu, "b")
+	ch.Connect(a)
+	ch.Connect(b)
+	gotA, gotB := false, false
+	a.InstallCallHandler(func([]byte) { gotA = true })
+	b.InstallCallHandler(func([]byte) { gotB = true })
+	app.Write([]byte("both"))
+	r.eng.RunAll()
+	if !gotA || !gotB {
+		t.Fatalf("multicast delivery: a=%v b=%v", gotA, gotB)
+	}
+}
+
+func TestDeviceToDevicePeerTransfer(t *testing.T) {
+	r := newRig()
+	src := DeviceEndpoint(r.nic, "src")
+	ch, err := New(r.eng, r.b, DefaultConfig(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := DeviceEndpoint(r.gpu, "dst")
+	ch.Connect(dst)
+	var got []byte
+	dst.InstallCallHandler(func(d []byte) { got = d })
+	kernelBefore := r.host.L2().Stats(cache.Kernel).Accesses
+	if err := dst.Write([]byte("x")); err != nil { // peer→creator is dev→dev
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	_ = got
+	// Peer-to-peer transfers must not touch the host cache at all.
+	if r.host.L2().Stats(cache.Kernel).Accesses != kernelBefore {
+		t.Fatal("device→device transfer touched host cache")
+	}
+	if r.host.Interrupts() != 0 {
+		t.Fatal("device→device transfer interrupted the host")
+	}
+}
+
+func TestUnreliableDropsOnOverrun(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Reliable = false
+	cfg.RingEntries = 2
+	ch, app, oc := r.hostToDev(t, cfg)
+	oc.InstallCallHandler(func([]byte) {})
+	for i := 0; i < 10; i++ {
+		app.Write([]byte{byte(i)}) // all posted at t=0; ring holds 2
+	}
+	r.eng.RunAll()
+	st := ch.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no drops on unreliable overrun")
+	}
+	if st.Sent+st.Dropped != 10 {
+		t.Fatalf("accounting: %+v", st)
+	}
+}
+
+func TestReliableNeverDrops(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.RingEntries = 2
+	ch, app, oc := r.hostToDev(t, cfg)
+	count := 0
+	oc.InstallCallHandler(func([]byte) { count++ })
+	for i := 0; i < 25; i++ {
+		app.Write([]byte{byte(i)})
+	}
+	r.eng.RunAll()
+	st := ch.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("reliable channel dropped: %+v", st)
+	}
+	if count != 25 {
+		t.Fatalf("delivered %d of 25", count)
+	}
+	if st.Queued == 0 {
+		t.Fatal("expected descriptor exhaustion to queue sends")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	r := newRig()
+	ch, app, _ := r.hostToDev(t, DefaultConfig())
+	if err := app.Write(make([]byte, ch.Config().MaxMessage+1)); err != ErrTooLarge {
+		t.Fatalf("oversize err = %v", err)
+	}
+	ch.Close()
+	if err := app.Write([]byte("x")); err != ErrClosed {
+		t.Fatalf("closed err = %v", err)
+	}
+	// Creator with no peer.
+	lone := HostEndpoint(r.host, "lone")
+	ch2, _ := New(r.eng, r.b, DefaultConfig(), lone)
+	_ = ch2
+	if err := lone.Write([]byte("x")); err != ErrNoPeer {
+		t.Fatalf("no-peer err = %v", err)
+	}
+	// Endpoint never attached to any channel.
+	orphan := HostEndpoint(r.host, "orphan")
+	if err := orphan.Write([]byte("x")); err != ErrNoPeer {
+		t.Fatalf("orphan err = %v", err)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	r := newRig()
+	app := HostEndpoint(r.host, "app")
+	if _, err := New(r.eng, r.b, Config{RingEntries: 0, MaxMessage: 10}, app); err == nil {
+		t.Fatal("zero ring accepted")
+	}
+	if _, err := New(r.eng, r.b, Config{RingEntries: 4, MaxMessage: 0}, app); err == nil {
+		t.Fatal("zero MaxMessage accepted")
+	}
+}
+
+func TestZeroCopyTouchesLessCache(t *testing.T) {
+	run := func(zero bool) uint64 {
+		r := newRig()
+		cfg := DefaultConfig()
+		cfg.ZeroCopyWrite = zero
+		cfg.ZeroCopyRead = zero
+		_, app, oc := r.hostToDev(t, cfg)
+		oc.InstallCallHandler(func([]byte) {})
+		for i := 0; i < 50; i++ {
+			at := sim.Time(i) * sim.Millisecond
+			r.eng.At(at, func() { app.Write(make([]byte, 4096)) })
+		}
+		r.eng.RunAll()
+		return r.host.L2().Stats(cache.Kernel).Accesses
+	}
+	zc := run(true)
+	staged := run(false)
+	if staged <= zc {
+		t.Fatalf("staged (%d accesses) should touch more cache than zero-copy (%d)", staged, zc)
+	}
+}
+
+func TestZeroCopyFasterThanStaged(t *testing.T) {
+	run := func(zero bool) sim.Time {
+		r := newRig()
+		cfg := DefaultConfig()
+		cfg.ZeroCopyWrite = zero
+		cfg.ZeroCopyRead = zero
+		_, app, oc := r.hostToDev(t, cfg)
+		var doneAt sim.Time
+		oc.InstallCallHandler(func([]byte) { doneAt = r.eng.Now() })
+		app.Write(make([]byte, 32<<10))
+		r.eng.RunAll()
+		return doneAt
+	}
+	if zc, staged := run(true), run(false); staged <= zc {
+		t.Fatalf("staged latency %v should exceed zero-copy %v", staged, zc)
+	}
+}
+
+// Property: with a reliable channel, every write is eventually delivered in
+// order, for arbitrary message counts and ring sizes.
+func TestReliableDeliveryProperty(t *testing.T) {
+	prop := func(nMsgs, ring uint8) bool {
+		n := int(nMsgs)%40 + 1
+		rentries := int(ring)%8 + 1
+		r := newRig()
+		cfg := DefaultConfig()
+		cfg.RingEntries = rentries
+		_, app, oc := r.hostToDev(t, cfg)
+		var got []byte
+		oc.InstallCallHandler(func(d []byte) { got = append(got, d[0]) })
+		for i := 0; i < n; i++ {
+			if err := app.Write([]byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		r.eng.RunAll()
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package core is the HYDRA runtime (§4): the Offloading Access Layer that
+// OA-applications program against, the deployment pipeline that turns ODF
+// manifests into placed, linked, running Offcodes, the Channel Executive
+// that builds communication channels through per-device Channel Providers,
+// the hierarchical Resource Management unit, the Memory Management module
+// (user-memory pinning for zero-copy channels), and the pseudo Offcodes
+// (hydra.Runtime, hydra.Heap, hydra.ChannelExecutive) that firmware and
+// user Offcodes link against.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hydra/internal/bus"
+	"hydra/internal/channel"
+	"hydra/internal/depot"
+	"hydra/internal/device"
+	"hydra/internal/guid"
+	"hydra/internal/hostos"
+	"hydra/internal/layout"
+	"hydra/internal/odf"
+	"hydra/internal/resource"
+	"hydra/internal/sim"
+)
+
+// State tracks an Offcode's lifecycle (§3.1 two-phase initialization).
+type State int
+
+// Lifecycle states.
+const (
+	StateCreated State = iota
+	StateInitialized
+	StateStarted
+	StateStopped
+)
+
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateInitialized:
+		return "initialized"
+	case StateStarted:
+		return "started"
+	case StateStopped:
+		return "stopped"
+	}
+	return "invalid"
+}
+
+// Offcode is the behaviour contract every Offcode implements — the paper's
+// IOffcode. Initialize runs before peers exist ("the Offcode can access
+// local resources only"); Start runs "once all the related Offcodes have
+// been offloaded", when inter-Offcode communication is available.
+type Offcode interface {
+	Initialize(ctx *Context) error
+	Start() error
+	Stop() error
+}
+
+// Context is what the runtime hands an Offcode at Initialize.
+type Context struct {
+	Runtime *Runtime
+	Handle  *Handle
+	// Device is nil when the Offcode landed on the host CPU.
+	Device *device.Device
+	Host   *hostos.Machine
+	// OOB is this Offcode's end of its out-of-band channel, present on
+	// every Offcode "for initialization and control traffic".
+	OOB *channel.Endpoint
+}
+
+// Handle is the runtime's record of one deployed Offcode instance.
+type Handle struct {
+	BindName string
+	GUID     guid.GUID
+	ODF      *odf.ODF
+
+	state     State
+	behaviour Offcode
+	dev       *device.Device // nil = host placement
+	imageAddr uint64         // device-local address of the linked image
+	imageSize int
+	res       *resource.Node
+	oobApp    *channel.Endpoint // application/runtime side
+	oobOC     *channel.Endpoint // Offcode side
+	pseudo    bool
+}
+
+// State reports the lifecycle state.
+func (h *Handle) State() State { return h.state }
+
+// Device reports the placement target (nil for host).
+func (h *Handle) Device() *device.Device { return h.dev }
+
+// Behaviour returns the running Offcode instance.
+func (h *Handle) Behaviour() Offcode { return h.behaviour }
+
+// Pseudo reports whether this is a runtime-provided pseudo Offcode.
+func (h *Handle) Pseudo() bool { return h.pseudo }
+
+// ImageAddr reports where the linked image was placed in device memory.
+func (h *Handle) ImageAddr() uint64 { return h.imageAddr }
+
+// ImageSize reports the placed image size in bytes.
+func (h *Handle) ImageSize() int { return h.imageSize }
+
+// OOB returns the runtime-side endpoint of the Offcode's OOB channel.
+func (h *Handle) OOB() *channel.Endpoint { return h.oobApp }
+
+// Resolver selects the layout resolution strategy.
+type Resolver int
+
+// Resolvers.
+const (
+	// ResolveGreedy uses the fast heuristic (default; "simple graphs are
+	// usually trivial to solve").
+	ResolveGreedy Resolver = iota
+	// ResolveILP uses the §5 integer program for provably optimal layouts.
+	ResolveILP
+)
+
+// Config tunes the runtime.
+type Config struct {
+	Resolver  Resolver
+	Objective layout.Objective
+	// Loader selects the dynamic-loading strategy of §4.2; see loaders.go.
+	Loader LoaderKind
+	// Prices supplies per-BindName bus Price values for MaximizeBusUsage.
+	Prices map[string]float64
+}
+
+// Runtime is one host's HYDRA instance.
+type Runtime struct {
+	eng   *sim.Engine
+	host  *hostos.Machine
+	bus   *bus.Bus
+	depot *depot.Depot
+	cfg   Config
+
+	devices   []*device.Device
+	providers map[string][]ChannelProvider // device name → providers
+	loaders   map[LoaderKind]Loader
+
+	root    *resource.Node
+	byGUID  map[guid.GUID]*Handle
+	byBind  map[string]*Handle
+	deploys uint64
+}
+
+// New creates a runtime on the host. Devices are registered afterwards with
+// RegisterDevice.
+func New(eng *sim.Engine, host *hostos.Machine, b *bus.Bus, dep *depot.Depot, cfg Config) *Runtime {
+	rt := &Runtime{
+		eng: eng, host: host, bus: b, depot: dep, cfg: cfg,
+		providers: make(map[string][]ChannelProvider),
+		loaders:   make(map[LoaderKind]Loader),
+		root:      resource.NewRoot("hydra"),
+		byGUID:    make(map[guid.GUID]*Handle),
+		byBind:    make(map[string]*Handle),
+	}
+	rt.loaders[LoaderHostLink] = &hostLinkLoader{rt: rt}
+	rt.loaders[LoaderDeviceLink] = &deviceLinkLoader{rt: rt}
+	rt.registerPseudoOffcodes()
+	return rt
+}
+
+// Engine returns the simulation engine.
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Host returns the host machine.
+func (rt *Runtime) Host() *hostos.Machine { return rt.host }
+
+// Bus returns the I/O interconnect.
+func (rt *Runtime) Bus() *bus.Bus { return rt.bus }
+
+// Depot returns the Offcode depot.
+func (rt *Runtime) Depot() *depot.Depot { return rt.depot }
+
+// Resources returns the root of the resource tree.
+func (rt *Runtime) Resources() *resource.Node { return rt.root }
+
+// RegisterDevice attaches a programmable device and its channel provider.
+// The device firmware's exports gain the runtime's pseudo-Offcode symbols,
+// which user Offcodes link against.
+func (rt *Runtime) RegisterDevice(d *device.Device, providers ...ChannelProvider) {
+	rt.devices = append(rt.devices, d)
+	// Firmware symbol table: addresses are synthetic but stable.
+	base := uint64(0xF000_0000)
+	for i, sym := range []string{
+		"hydra.Runtime.GetOffcode",
+		"hydra.Runtime.CreateOffcode",
+		"hydra.Heap.Alloc",
+		"hydra.Heap.Free",
+		"hydra.ChannelExecutive.CreateChannel",
+		"hydra.Channel.Read",
+		"hydra.Channel.Write",
+		"hydra.Channel.Poll",
+		"hydra.Loader.AllocateOffcodeMemory",
+	} {
+		d.Export(sym, base+uint64(i)*0x100)
+	}
+	if len(providers) == 0 {
+		providers = []ChannelProvider{NewDMAProvider(d)}
+	}
+	rt.providers[d.Name()] = providers
+}
+
+// Devices lists registered devices.
+func (rt *Runtime) Devices() []*device.Device {
+	return append([]*device.Device(nil), rt.devices...)
+}
+
+// ErrNotFound reports a missing Offcode.
+var ErrNotFound = errors.New("core: offcode not found")
+
+// GetOffcode resolves a deployed (or pseudo) Offcode by bind name — the
+// runtime API the paper's Figure 3 uses to fetch hydra.ChannelExecutive.
+func (rt *Runtime) GetOffcode(bind string) (*Handle, error) {
+	if h, ok := rt.byBind[bind]; ok {
+		return h, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, bind)
+}
+
+// GetOffcodeByGUID resolves by GUID.
+func (rt *Runtime) GetOffcodeByGUID(g guid.GUID) (*Handle, error) {
+	if h, ok := rt.byGUID[g]; ok {
+		return h, nil
+	}
+	return nil, fmt.Errorf("%w: GUID %v", ErrNotFound, g)
+}
+
+// Offcodes lists deployed bind names, sorted (pseudo Offcodes included).
+func (rt *Runtime) Offcodes() []string {
+	out := make([]string, 0, len(rt.byBind))
+	for b := range rt.byBind {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// registerPseudoOffcodes installs the runtime components that "happen to be
+// implemented as Offcodes" (§4): hydra.Runtime, hydra.Heap and
+// hydra.ChannelExecutive.
+func (rt *Runtime) registerPseudoOffcodes() {
+	for _, p := range []struct {
+		bind string
+		g    guid.GUID
+	}{
+		{"hydra.Runtime", guid.IIDRuntime},
+		{"hydra.Heap", guid.IIDHeap},
+		{"hydra.ChannelExecutive", guid.IIDChannelExecutive},
+	} {
+		h := &Handle{
+			BindName: p.bind, GUID: p.g, state: StateStarted, pseudo: true,
+			res: rt.root.MustChild(p.bind, nil),
+		}
+		rt.byBind[p.bind] = h
+		rt.byGUID[p.g] = h
+	}
+}
+
+// PinMemory is the Memory Management module's user-memory pinning service
+// "used by zero-copy channels" (§4): it reserves host memory, accounts it
+// in the resource tree, and returns the pinned region's address.
+func (rt *Runtime) PinMemory(owner *resource.Node, size int) (uint64, *resource.Node, error) {
+	if size <= 0 {
+		return 0, nil, fmt.Errorf("core: pin of %d bytes", size)
+	}
+	addr := rt.host.Alloc(size)
+	node, err := owner.NewChild(fmt.Sprintf("pin@%#x(%d)", addr, size), nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return addr, node, nil
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hydra/internal/bus"
+	"hydra/internal/channel"
+	"hydra/internal/depot"
+	"hydra/internal/device"
+	"hydra/internal/guid"
+	"hydra/internal/hostos"
+	"hydra/internal/objfile"
+	"hydra/internal/sim"
+)
+
+// fakeOffcode records lifecycle transitions.
+type fakeOffcode struct {
+	name    string
+	log     *[]string
+	ctx     *Context
+	initErr error
+	chans   []*channel.Endpoint
+}
+
+func (f *fakeOffcode) Initialize(ctx *Context) error {
+	f.ctx = ctx
+	*f.log = append(*f.log, "init:"+f.name)
+	return f.initErr
+}
+func (f *fakeOffcode) Start() error {
+	*f.log = append(*f.log, "start:"+f.name)
+	return nil
+}
+func (f *fakeOffcode) Stop() error {
+	*f.log = append(*f.log, "stop:"+f.name)
+	return nil
+}
+func (f *fakeOffcode) ChannelConnected(ep *channel.Endpoint) {
+	f.chans = append(f.chans, ep)
+}
+
+type rig struct {
+	eng   *sim.Engine
+	host  *hostos.Machine
+	bus   *bus.Bus
+	nic   *device.Device
+	disk  *device.Device
+	depot *depot.Depot
+	rt    *Runtime
+	log   []string
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	r := &rig{}
+	r.eng = sim.NewEngine(31)
+	r.host = hostos.New(r.eng, "host", hostos.PentiumIV())
+	r.bus = bus.New(r.eng, bus.DefaultConfig())
+	r.nic = device.New(r.eng, r.host, r.bus, device.XScaleNIC("nic0"))
+	r.disk = device.New(r.eng, r.host, r.bus, device.Config{
+		Name:      "disk0",
+		Class:     device.Class{ID: 2, Name: "Storage Device", Bus: "pci"},
+		CPUFreqHz: 400e6, LocalMemBytes: 1 << 20,
+	})
+	r.depot = depot.New()
+	r.rt = New(r.eng, r.host, r.bus, r.depot, cfg)
+	r.rt.RegisterDevice(r.nic)
+	r.rt.RegisterDevice(r.disk)
+	return r
+}
+
+// stock registers an Offcode (ODF+object+factory) in the depot.
+func (r *rig) stock(t *testing.T, bind string, g uint64, targetClass string, imports string) {
+	t.Helper()
+	odfDoc := fmt.Sprintf(`<offcode>
+  <package><bindname>%s</bindname><GUID>%d</GUID></package>
+  <sw-env>%s</sw-env>
+  <targets>
+    <device-class><name>%s</name></device-class>
+    <host-fallback>true</host-fallback>
+  </targets>
+</offcode>`, bind, g, imports, targetClass)
+	r.depot.PutFile("/offcodes/"+bind+".odf", []byte(odfDoc))
+	obj := objfile.Synthesize(bind, guid.GUID(g), 512, []string{"hydra.Heap.Alloc", "hydra.Channel.Write"})
+	if err := r.depot.RegisterObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	name := bind
+	if err := r.depot.RegisterFactory(guid.GUID(g), func() any {
+		return &fakeOffcode{name: name, log: &r.log}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func importRef(bind string, g uint64, typ string) string {
+	return fmt.Sprintf(`<import><file>/offcodes/%s.odf</file><bindname>%s</bindname>
+		<reference type="%s"><GUID>%d</GUID></reference></import>`, bind, bind, typ, g)
+}
+
+func deploy(t *testing.T, r *rig, path string) *Handle {
+	t.Helper()
+	var h *Handle
+	var derr error
+	done := false
+	r.rt.Deploy(path, func(handle *Handle, err error) { h, derr, done = handle, err, true })
+	r.eng.RunAll()
+	if !done {
+		t.Fatal("deployment never completed")
+	}
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	return h
+}
+
+func TestDeploySingleOffcode(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	h := deploy(t, r, "/offcodes/net.Checksum.odf")
+	if h.State() != StateStarted {
+		t.Fatalf("state = %v", h.State())
+	}
+	if h.Device() != r.nic {
+		t.Fatalf("placed on %v, want nic0", h.Device())
+	}
+	if h.ImageSize() == 0 {
+		t.Fatal("no image placed")
+	}
+	// Image bytes actually landed in device memory, relocations patched.
+	img, err := r.nic.ReadMem(h.ImageAddr(), h.ImageSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 512 {
+		t.Fatalf("image size %d", len(img))
+	}
+	exports := r.nic.Exports()
+	// First import slot holds hydra.Heap.Alloc's address.
+	var got uint64
+	for i := 0; i < 8; i++ {
+		got |= uint64(img[8+i]) << (8 * i)
+	}
+	if got != exports["hydra.Heap.Alloc"] {
+		t.Fatalf("reloc = %#x, want %#x", got, exports["hydra.Heap.Alloc"])
+	}
+	if len(r.log) != 2 || r.log[0] != "init:net.Checksum" || r.log[1] != "start:net.Checksum" {
+		t.Fatalf("lifecycle = %v", r.log)
+	}
+}
+
+func TestDeployClosureOrderAndPlacement(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	r.stock(t, "net.Socket", 100, "Network Device", importRef("net.Checksum", 101, "Pull"))
+	h := deploy(t, r, "/offcodes/net.Socket.odf")
+	if h.BindName != "net.Socket" {
+		t.Fatalf("root handle = %s", h.BindName)
+	}
+	// Import initialized before importer; all inits before any start.
+	want := []string{"init:net.Checksum", "init:net.Socket", "start:net.Checksum", "start:net.Socket"}
+	if len(r.log) != 4 {
+		t.Fatalf("lifecycle = %v", r.log)
+	}
+	for i := range want {
+		if r.log[i] != want[i] {
+			t.Fatalf("lifecycle = %v, want %v", r.log, want)
+		}
+	}
+	// Pull constraint: both on the same device.
+	peer, err := r.rt.GetOffcode("net.Checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer.Device() != h.Device() {
+		t.Fatal("Pull pair split across devices")
+	}
+}
+
+func TestDeployReuse(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	h1 := deploy(t, r, "/offcodes/net.Checksum.odf")
+	h2 := deploy(t, r, "/offcodes/net.Checksum.odf")
+	if h1 != h2 {
+		t.Fatal("redeployment created a second instance")
+	}
+	// Lifecycle ran once.
+	if len(r.log) != 2 {
+		t.Fatalf("lifecycle = %v", r.log)
+	}
+}
+
+func TestDeployPartialReusePinsPull(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	deploy(t, r, "/offcodes/net.Checksum.odf") // lands on nic0
+	// Now deploy a socket that Pulls the already-running checksum; it must
+	// land on the same device even though it could also fit disk-class.
+	r.stock(t, "net.Socket", 100, "Network Device", importRef("net.Checksum", 101, "Pull"))
+	h := deploy(t, r, "/offcodes/net.Socket.odf")
+	peer, _ := r.rt.GetOffcode("net.Checksum")
+	if h.Device() != peer.Device() {
+		t.Fatalf("partial-reuse Pull violated: %v vs %v", h.Device(), peer.Device())
+	}
+	// Checksum was not re-initialized.
+	count := 0
+	for _, l := range r.log {
+		if l == "init:net.Checksum" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("checksum initialized %d times", count)
+	}
+}
+
+func TestDeployILPResolver(t *testing.T) {
+	r := newRig(t, Config{Resolver: ResolveILP})
+	r.stock(t, "fs.Index", 201, "Storage Device", "")
+	h := deploy(t, r, "/offcodes/fs.Index.odf")
+	if h.Device() != r.disk {
+		t.Fatalf("ILP placed on %v, want disk0", h.Device())
+	}
+}
+
+func TestDeployHostFallback(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "app.GUI", 301, "Display Device", "") // no GPU installed
+	h := deploy(t, r, "/offcodes/app.GUI.odf")
+	if h.Device() != nil {
+		t.Fatal("GUI should have fallen back to the host")
+	}
+	if h.ImageSize() != 0 {
+		t.Fatal("host placement should not link a device image")
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	r := newRig(t, Config{})
+	// Missing ODF.
+	var gotErr error
+	r.rt.Deploy("/nope.odf", func(h *Handle, err error) { gotErr = err })
+	r.eng.RunAll()
+	if gotErr == nil {
+		t.Fatal("missing ODF deployed")
+	}
+	// Missing factory.
+	r.depot.PutFile("/offcodes/x.odf", []byte(`<offcode>
+	  <package><bindname>x</bindname><GUID>999</GUID></package>
+	  <targets><host-fallback>true</host-fallback></targets></offcode>`))
+	r.rt.Deploy("/offcodes/x.odf", func(h *Handle, err error) { gotErr = err })
+	r.eng.RunAll()
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "factory") {
+		t.Fatalf("err = %v, want factory error", gotErr)
+	}
+}
+
+func TestDeployCycleDetected(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "a", 1, "Network Device", importRef("b", 2, "Link"))
+	r.stock(t, "b", 2, "Network Device", importRef("a", 1, "Link"))
+	var gotErr error
+	r.rt.Deploy("/offcodes/a.odf", func(h *Handle, err error) { gotErr = err })
+	r.eng.RunAll()
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "cycle") {
+		t.Fatalf("err = %v, want cycle error", gotErr)
+	}
+}
+
+func TestGetOffcodePseudo(t *testing.T) {
+	r := newRig(t, Config{})
+	for _, bind := range []string{"hydra.Runtime", "hydra.Heap", "hydra.ChannelExecutive"} {
+		h, err := r.rt.GetOffcode(bind)
+		if err != nil {
+			t.Fatalf("%s: %v", bind, err)
+		}
+		if !h.Pseudo() || h.State() != StateStarted {
+			t.Fatalf("%s: %+v", bind, h)
+		}
+	}
+	if _, err := r.rt.GetOffcode("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.rt.GetOffcodeByGUID(guid.IIDHeap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOOBChannelWorks(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	h := deploy(t, r, "/offcodes/net.Checksum.odf")
+	fake := h.Behaviour().(*fakeOffcode)
+	if fake.ctx == nil || fake.ctx.OOB == nil {
+		t.Fatal("no OOB endpoint delivered at Initialize")
+	}
+	var got []byte
+	fake.ctx.OOB.InstallCallHandler(func(d []byte) { got = d })
+	if err := h.OOB().Write([]byte("mgmt-event")); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	if string(got) != "mgmt-event" {
+		t.Fatalf("OOB delivery = %q", got)
+	}
+}
+
+func TestCreateChannelAndInvoke(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	h := deploy(t, r, "/offcodes/net.Checksum.odf")
+
+	appEnd, ch, err := r.rt.CreateChannel(channel.DefaultConfig(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := h.Behaviour().(*fakeOffcode)
+	if len(fake.chans) != 1 {
+		t.Fatal("offcode not notified of new channel")
+	}
+	var got []byte
+	fake.chans[0].InstallCallHandler(func(d []byte) { got = d })
+	if err := appEnd.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	if string(got) != "payload" {
+		t.Fatalf("channel delivery = %q", got)
+	}
+	_ = ch
+}
+
+func TestExecutivePicksCheapestProvider(t *testing.T) {
+	r := newRig(t, Config{})
+	// Re-register nic with two providers: DMA and PIO.
+	r.rt.providers["nic0"] = []ChannelProvider{
+		NewDMAProvider(r.nic),
+		&PIOProvider{Dev: r.nic},
+	}
+	// Large messages → DMA wins.
+	cfgBig := channel.DefaultConfig()
+	p, err := r.rt.bestProvider(r.nic, cfgBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p.Name(), "/dma") {
+		t.Fatalf("large-message provider = %s, want dma", p.Name())
+	}
+	// Tiny messages → PIO's low latency wins.
+	cfgSmall := channel.DefaultConfig()
+	cfgSmall.MaxMessage = 16
+	p, err = r.rt.bestProvider(r.nic, cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p.Name(), "/pio") {
+		t.Fatalf("small-message provider = %s, want pio", p.Name())
+	}
+}
+
+func TestStopOffcodeCleansUp(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	h := deploy(t, r, "/offcodes/net.Checksum.odf")
+	if err := r.rt.StopOffcode(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.State() != StateStopped {
+		t.Fatalf("state = %v", h.State())
+	}
+	found := false
+	for _, l := range r.log {
+		if l == "stop:net.Checksum" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Stop not called: %v", r.log)
+	}
+	if _, err := r.rt.GetOffcode("net.Checksum"); err == nil {
+		t.Fatal("stopped offcode still registered")
+	}
+	// OOB channel is closed via the resource tree.
+	if err := h.OOB().Write([]byte("x")); !errors.Is(err, channel.ErrClosed) {
+		t.Fatalf("OOB write after stop: %v", err)
+	}
+	// Pseudo offcodes cannot be stopped.
+	rt, _ := r.rt.GetOffcode("hydra.Runtime")
+	if err := r.rt.StopOffcode(rt); err == nil {
+		t.Fatal("stopped a pseudo offcode")
+	}
+}
+
+func TestDeviceLinkLoader(t *testing.T) {
+	r := newRig(t, Config{Loader: LoaderDeviceLink})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	h := deploy(t, r, "/offcodes/net.Checksum.odf")
+	if h.Device() != r.nic {
+		t.Fatal("not placed on device")
+	}
+	// Device-link stages the encoded object too, so memory use exceeds
+	// the image size.
+	if r.nic.MemUsed() <= h.ImageSize() {
+		t.Fatalf("device-link used %d bytes for a %d byte image; expected staging overhead",
+			r.nic.MemUsed(), h.ImageSize())
+	}
+	img, err := r.nic.ReadMem(h.ImageAddr(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for i := 0; i < 8; i++ {
+		got |= uint64(img[8+i]) << (8 * i)
+	}
+	if got != r.nic.Exports()["hydra.Heap.Alloc"] {
+		t.Fatalf("device-link reloc = %#x", got)
+	}
+}
+
+func TestLoaderLatencyComparison(t *testing.T) {
+	measure := func(kind LoaderKind) sim.Time {
+		r := newRig(t, Config{Loader: kind})
+		r.stock(t, "net.Checksum", 101, "Network Device", "")
+		start := r.eng.Now()
+		deploy(t, r, "/offcodes/net.Checksum.odf")
+		return r.eng.Now() - start
+	}
+	hostLink := measure(LoaderHostLink)
+	devLink := measure(LoaderDeviceLink)
+	// The slow embedded core makes device-side linking slower end to end.
+	if devLink <= hostLink {
+		t.Fatalf("device-link (%v) should be slower than host-link (%v)", devLink, hostLink)
+	}
+}
+
+func TestPinMemory(t *testing.T) {
+	r := newRig(t, Config{})
+	addr, node, err := r.rt.PinMemory(r.rt.Resources(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == 0 || node == nil {
+		t.Fatal("bad pin result")
+	}
+	if _, _, err := r.rt.PinMemory(r.rt.Resources(), 0); err == nil {
+		t.Fatal("zero-size pin accepted")
+	}
+}
+
+func TestOffcodesListing(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	deploy(t, r, "/offcodes/net.Checksum.odf")
+	names := r.rt.Offcodes()
+	want := map[string]bool{
+		"hydra.Runtime": true, "hydra.Heap": true,
+		"hydra.ChannelExecutive": true, "net.Checksum": true,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("offcodes = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected offcode %s", n)
+		}
+	}
+}

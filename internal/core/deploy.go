@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/channel"
+	"hydra/internal/device"
+	"hydra/internal/layout"
+	"hydra/internal/odf"
+)
+
+// Deploy runs the §3.4 deployment pipeline (Figure 5) for the Offcode
+// described by the ODF at path:
+//
+//  1. process the ODF closure (the root plus every transitive import),
+//  2. construct the offloading layout graph,
+//  3. resolve the Offcode↔device mapping (greedy or ILP),
+//  4. adapt each instance to its target (link against firmware exports),
+//  5. offload (transfer the image, modeled on the bus) and instantiate,
+//  6. Initialize every new Offcode, then StartOffcode each one.
+//
+// Deployment takes simulated time (linking transfers, device work), so the
+// result arrives through k. Already-deployed Offcodes are reused — the
+// paper's component reuse — and must already satisfy their placement.
+func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
+	rt.deploys++
+	closure, order, err := rt.closure(path)
+	if err != nil {
+		k(nil, err)
+		return
+	}
+	rootODF := closure[order[0]]
+
+	// Layout graph over the *new* Offcodes only; reused ones keep their
+	// placement. Imports that resolve to already-deployed Offcodes are
+	// filtered out of the graph, but their Pull/Gang constraints still
+	// bind: they restrict the importer's compatibility vector below.
+	type pinned struct {
+		node int
+		imp  odf.Reference
+		peer *Handle
+	}
+	var odfs []*odf.ODF
+	var pins []pinned
+	newSet := make(map[string]bool)
+	for _, p := range order {
+		o := closure[p]
+		if _, exists := rt.byBind[o.BindName]; !exists {
+			newSet[o.BindName] = true
+		}
+	}
+	for _, p := range order {
+		o := closure[p]
+		if !newSet[o.BindName] {
+			continue
+		}
+		filtered := *o
+		filtered.Imports = nil
+		for _, imp := range o.Imports {
+			if (imp.BindName != "" && newSet[imp.BindName]) || importInSet(rt, imp, newSet) {
+				filtered.Imports = append(filtered.Imports, imp)
+				continue
+			}
+			peer, err := rt.lookupImport(imp)
+			if err != nil {
+				k(nil, fmt.Errorf("core: %s: %w", o.BindName, err))
+				return
+			}
+			pins = append(pins, pinned{node: len(odfs), imp: imp, peer: peer})
+		}
+		odfs = append(odfs, &filtered)
+	}
+	if len(odfs) == 0 {
+		// Everything already deployed; return the existing root handle.
+		k(rt.byBind[rootODF.BindName], nil)
+		return
+	}
+
+	targets := make([]layout.Target, 0, len(rt.devices))
+	for _, d := range rt.devices {
+		targets = append(targets, layout.Target{Name: d.Name(), Class: d.Class()})
+	}
+	graph, err := layout.FromODFs(odfs, targets, rt.cfg.Prices)
+	if err != nil {
+		k(nil, err)
+		return
+	}
+	// Apply constraints against already-deployed peers by narrowing the
+	// importer's compatibility vector.
+	for _, pin := range pins {
+		peerTarget := 0
+		if d := pin.peer.Device(); d != nil {
+			for i, dev := range rt.devices {
+				if dev == d {
+					peerTarget = i + 1
+					break
+				}
+			}
+		}
+		node := &graph.Nodes[pin.node]
+		switch pin.imp.Type {
+		case odf.Pull:
+			for t := range node.Compat {
+				node.Compat[t] = node.Compat[t] && t == peerTarget
+			}
+		case odf.Gang:
+			// Peer offloaded ⇒ importer must offload; peer on host ⇒
+			// importer must stay.
+			for t := range node.Compat {
+				if peerTarget == 0 {
+					node.Compat[t] = node.Compat[t] && t == 0
+				} else {
+					node.Compat[t] = node.Compat[t] && t != 0
+				}
+			}
+		case odf.AsymmetricGang:
+			// importer→peer: offloading the importer requires the peer
+			// offloaded; if the peer is on the host, pin to host.
+			if peerTarget == 0 {
+				for t := range node.Compat {
+					node.Compat[t] = node.Compat[t] && t == 0
+				}
+			}
+		}
+		ok := false
+		for _, c := range node.Compat {
+			ok = ok || c
+		}
+		if !ok {
+			k(nil, fmt.Errorf("core: %s: constraint %s against deployed peer %s is unsatisfiable",
+				node.BindName, pin.imp.Type, pin.peer.BindName))
+			return
+		}
+	}
+	var placement layout.Placement
+	switch rt.cfg.Resolver {
+	case ResolveILP:
+		placement, _, err = graph.SolveILP(rt.cfg.Objective)
+	default:
+		placement, err = graph.SolveGreedy(rt.cfg.Objective)
+	}
+	if err != nil {
+		k(nil, fmt.Errorf("core: layout resolution: %w", err))
+		return
+	}
+
+	// Offload each new Offcode in dependency order (imports first), then
+	// run the two-phase initialization.
+	var handles []*Handle
+	var offload func(i int)
+	offload = func(i int) {
+		if i == len(odfs) {
+			rt.initialize(handles, 0, func(err error) {
+				if err != nil {
+					k(nil, err)
+					return
+				}
+				k(rt.byBind[rootODF.BindName], nil)
+			})
+			return
+		}
+		o := odfs[i]
+		var dev = (*deviceRef)(nil)
+		if t := placement[i]; t != 0 {
+			dev = &deviceRef{rt.devices[t-1]}
+		}
+		rt.instantiate(o, dev, func(h *Handle, err error) {
+			if err != nil {
+				k(nil, err)
+				return
+			}
+			handles = append(handles, h)
+			offload(i + 1)
+		})
+	}
+	// Deploy deepest imports first.
+	reverse(odfs)
+	reversePlacement(placement, len(odfs))
+	offload(0)
+}
+
+// deviceRef wraps a device placement; nil means host placement.
+type deviceRef struct{ d *device.Device }
+
+// closure loads the ODF at path and, transitively, every import, returning
+// the documents keyed by path and a root-first order.
+func (rt *Runtime) closure(path string) (map[string]*odf.ODF, []string, error) {
+	docs := make(map[string]*odf.ODF)
+	var order []string
+	var visit func(p string, stack map[string]bool) error
+	visit = func(p string, stack map[string]bool) error {
+		if stack[p] {
+			return fmt.Errorf("core: import cycle through %s", p)
+		}
+		if _, seen := docs[p]; seen {
+			return nil
+		}
+		o, err := rt.depot.LoadODF(p)
+		if err != nil {
+			return err
+		}
+		docs[p] = o
+		order = append(order, p)
+		stack[p] = true
+		for _, imp := range o.Imports {
+			if imp.File == "" {
+				// Import resolved by GUID against already-deployed
+				// Offcodes; nothing to load.
+				if _, err := rt.lookupImport(imp); err != nil {
+					return fmt.Errorf("core: %s: %w", o.BindName, err)
+				}
+				continue
+			}
+			if err := visit(imp.File, stack); err != nil {
+				return err
+			}
+		}
+		delete(stack, p)
+		return nil
+	}
+	if err := visit(path, map[string]bool{}); err != nil {
+		return nil, nil, err
+	}
+	return docs, order, nil
+}
+
+// importInSet reports whether an import (possibly GUID-only) resolves to a
+// member of the new deployment set.
+func importInSet(rt *Runtime, imp odf.Reference, newSet map[string]bool) bool {
+	if imp.BindName != "" {
+		return newSet[imp.BindName]
+	}
+	return false
+}
+
+func (rt *Runtime) lookupImport(imp odf.Reference) (*Handle, error) {
+	if imp.GUID.IsValid() {
+		if h, ok := rt.byGUID[imp.GUID]; ok {
+			return h, nil
+		}
+	}
+	if imp.BindName != "" {
+		if h, ok := rt.byBind[imp.BindName]; ok {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("unresolved import %s (GUID %v)", imp.BindName, imp.GUID)
+}
+
+// instantiate adapts, offloads and registers one Offcode (no Initialize yet).
+func (rt *Runtime) instantiate(o *odf.ODF, dev *deviceRef, k func(*Handle, error)) {
+	if _, dup := rt.byBind[o.BindName]; dup {
+		k(nil, fmt.Errorf("core: %s already deployed", o.BindName))
+		return
+	}
+	factory, ok := rt.depot.Factory(o.GUID)
+	if !ok {
+		k(nil, fmt.Errorf("core: no behaviour factory for %s (GUID %v)", o.BindName, o.GUID))
+		return
+	}
+
+	finishInstall := func(addr uint64, size int) {
+		behaviourAny := factory()
+		behaviour, ok := behaviourAny.(Offcode)
+		if !ok {
+			k(nil, fmt.Errorf("core: factory for %s returned %T, not core.Offcode", o.BindName, behaviourAny))
+			return
+		}
+		h := &Handle{
+			BindName: o.BindName, GUID: o.GUID, ODF: o,
+			behaviour: behaviour, imageAddr: addr, imageSize: size,
+		}
+		if dev != nil {
+			h.dev = dev.d
+		}
+		node, err := rt.root.NewChild("offcode:"+o.BindName, func() error {
+			if h.state == StateStarted {
+				h.state = StateStopped
+				return h.behaviour.Stop()
+			}
+			return nil
+		})
+		if err != nil {
+			k(nil, err)
+			return
+		}
+		h.res = node
+
+		// Every Offcode gets its default OOB channel (§3.2).
+		if err := rt.setupOOB(h); err != nil {
+			k(nil, err)
+			return
+		}
+		rt.byBind[o.BindName] = h
+		rt.byGUID[o.GUID] = h
+		k(h, nil)
+	}
+
+	if dev == nil {
+		// Host placement: no linking against device firmware.
+		finishInstall(0, 0)
+		return
+	}
+	obj, ok := rt.depot.Object(o.GUID)
+	if !ok {
+		k(nil, fmt.Errorf("core: no object file for %s (GUID %v)", o.BindName, o.GUID))
+		return
+	}
+	loader := rt.loaders[rt.cfg.Loader]
+	loader.Load(dev.d, obj, func(addr uint64, size int, err error) {
+		if err != nil {
+			k(nil, fmt.Errorf("core: loading %s onto %s: %w", o.BindName, dev.d.Name(), err))
+			return
+		}
+		finishInstall(addr, size)
+	})
+}
+
+// setupOOB builds the Offcode's out-of-band channel between the runtime
+// (host) side and the Offcode's placement.
+func (rt *Runtime) setupOOB(h *Handle) error {
+	appEnd := channel.HostEndpoint(rt.host, "oob:"+h.BindName)
+	ch, err := channel.New(rt.eng, rt.bus, channel.OOBConfig(), appEnd)
+	if err != nil {
+		return err
+	}
+	var ocEnd *channel.Endpoint
+	if h.dev != nil {
+		ocEnd = channel.DeviceEndpoint(h.dev, "oob:"+h.BindName+"@"+h.dev.Name())
+	} else {
+		ocEnd = channel.HostEndpoint(rt.host, "oob:"+h.BindName+"@host")
+	}
+	if err := ch.Connect(ocEnd); err != nil {
+		return err
+	}
+	h.oobApp = appEnd
+	h.oobOC = ocEnd
+	if _, err := h.res.NewChild("oob-channel", func() error { ch.Close(); return nil }); err != nil {
+		return err
+	}
+	return nil
+}
+
+// initialize runs phase one (Initialize) across all new Offcodes, then
+// phase two (Start) — "once all the related Offcodes have been offloaded,
+// the StartOffcode method is called".
+func (rt *Runtime) initialize(handles []*Handle, i int, k func(error)) {
+	if i == len(handles) {
+		rt.start(handles, 0, k)
+		return
+	}
+	h := handles[i]
+	ctx := &Context{Runtime: rt, Handle: h, Device: h.dev, Host: rt.host, OOB: h.oobOC}
+	// Initialization executes on the placement target; charge a small cost.
+	run := func(fn func()) {
+		if h.dev != nil {
+			h.dev.Exec(20_000, fn)
+		} else {
+			rt.host.NewTask("init:"+h.BindName).Compute(20_000, fn)
+		}
+	}
+	run(func() {
+		if err := h.behaviour.Initialize(ctx); err != nil {
+			k(fmt.Errorf("core: %s.Initialize: %w", h.BindName, err))
+			return
+		}
+		h.state = StateInitialized
+		rt.initialize(handles, i+1, k)
+	})
+}
+
+func (rt *Runtime) start(handles []*Handle, i int, k func(error)) {
+	if i == len(handles) {
+		k(nil)
+		return
+	}
+	h := handles[i]
+	run := func(fn func()) {
+		if h.dev != nil {
+			h.dev.Exec(5_000, fn)
+		} else {
+			rt.host.NewTask("start:"+h.BindName).Compute(5_000, fn)
+		}
+	}
+	run(func() {
+		if err := h.behaviour.Start(); err != nil {
+			k(fmt.Errorf("core: %s.Start: %w", h.BindName, err))
+			return
+		}
+		h.state = StateStarted
+		rt.start(handles, i+1, k)
+	})
+}
+
+// StopOffcode stops a running Offcode and releases its resources.
+func (rt *Runtime) StopOffcode(h *Handle) error {
+	if h.pseudo {
+		return fmt.Errorf("core: cannot stop pseudo Offcode %s", h.BindName)
+	}
+	err := h.res.Close() // closer transitions state and calls Stop
+	delete(rt.byBind, h.BindName)
+	delete(rt.byGUID, h.GUID)
+	return err
+}
+
+func reverse(odfs []*odf.ODF) {
+	for i, j := 0, len(odfs)-1; i < j; i, j = i+1, j-1 {
+		odfs[i], odfs[j] = odfs[j], odfs[i]
+	}
+}
+
+func reversePlacement(p layout.Placement, n int) {
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Deployments reports how many Deploy calls have been made.
+func (rt *Runtime) Deployments() uint64 { return rt.deploys }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/channel"
+	"hydra/internal/device"
+	"hydra/internal/sim"
+)
+
+// CostMetric is a Channel Provider's self-reported "price for communicating
+// with the device through a specific channel, in terms of latency and
+// throughput" (§4). The Channel Executive "uses this capability information
+// to decide on the best provider for a specific Offcode".
+type CostMetric struct {
+	Latency    sim.Time
+	Throughput float64 // bytes/sec
+}
+
+// score orders providers: lower is better. Latency dominates for small
+// messages; throughput for large ones — the executive scores against the
+// channel's MaxMessage.
+func (c CostMetric) score(msgBytes int) float64 {
+	if c.Throughput <= 0 {
+		return float64(c.Latency) + 1e18
+	}
+	return float64(c.Latency) + float64(msgBytes)/c.Throughput*float64(sim.Second)
+}
+
+// ChannelProvider is the per-device, target-specific factory for channels
+// ("provided as an extended driver for each programmable device").
+type ChannelProvider interface {
+	Name() string
+	Device() *device.Device
+	Cost(cfg channel.Config) CostMetric
+	// Endpoint constructs the device-side endpoint for a new channel.
+	Endpoint(name string) *channel.Endpoint
+}
+
+// dmaProvider is the standard DMA ring provider every registered device
+// gets by default: zero-copy capable, bus-speed throughput.
+type dmaProvider struct {
+	dev *device.Device
+}
+
+// NewDMAProvider returns the default zero-copy DMA channel provider.
+func NewDMAProvider(d *device.Device) ChannelProvider { return &dmaProvider{dev: d} }
+
+func (p *dmaProvider) Name() string           { return p.dev.Name() + "/dma" }
+func (p *dmaProvider) Device() *device.Device { return p.dev }
+func (p *dmaProvider) Endpoint(name string) *channel.Endpoint {
+	return channel.DeviceEndpoint(p.dev, name)
+}
+
+func (p *dmaProvider) Cost(cfg channel.Config) CostMetric {
+	m := CostMetric{Latency: 15 * sim.Microsecond, Throughput: 250e6}
+	if !cfg.ZeroCopyWrite || !cfg.ZeroCopyRead {
+		// Staging copies halve effective throughput and add latency.
+		m.Latency += 10 * sim.Microsecond
+		m.Throughput /= 2
+	}
+	return m
+}
+
+// PIOProvider models a programmed-I/O fallback provider: lower setup
+// latency, far lower throughput. Registering it alongside the DMA provider
+// exercises the executive's cost-based selection.
+type PIOProvider struct {
+	Dev *device.Device
+}
+
+// Name implements ChannelProvider.
+func (p *PIOProvider) Name() string { return p.Dev.Name() + "/pio" }
+
+// Device implements ChannelProvider.
+func (p *PIOProvider) Device() *device.Device { return p.Dev }
+
+// Endpoint implements ChannelProvider.
+func (p *PIOProvider) Endpoint(name string) *channel.Endpoint {
+	return channel.DeviceEndpoint(p.Dev, name)
+}
+
+// Cost implements ChannelProvider: cheap setup, slow bulk.
+func (p *PIOProvider) Cost(channel.Config) CostMetric {
+	return CostMetric{Latency: 2 * sim.Microsecond, Throughput: 10e6}
+}
+
+// CreateChannel is the Channel Executive: it builds a channel from the
+// application (host) to the target device, choosing the cheapest provider
+// for the configuration, and connects the Offcode-side endpoint.
+// It returns the application endpoint, as in Figure 3.
+func (rt *Runtime) CreateChannel(cfg channel.Config, target *Handle) (*channel.Endpoint, *channel.Channel, error) {
+	appEnd := channel.HostEndpoint(rt.host, "app→"+target.BindName)
+	ch, err := channel.New(rt.eng, rt.bus, cfg, appEnd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rt.ConnectOffcode(ch, target); err != nil {
+		return nil, nil, err
+	}
+	if _, err := rt.root.NewChild("channel:"+appEnd.Name(), func() error { ch.Close(); return nil }); err != nil {
+		return nil, nil, err
+	}
+	return appEnd, ch, nil
+}
+
+// ConnectOffcode attaches target's endpoint to an existing channel
+// (the paper's Channel.ConnectOffcode), selecting the best provider for
+// the target's device by cost.
+func (rt *Runtime) ConnectOffcode(ch *channel.Channel, target *Handle) error {
+	var ocEnd *channel.Endpoint
+	if target.dev == nil {
+		ocEnd = channel.HostEndpoint(rt.host, target.BindName+"@host")
+	} else {
+		prov, err := rt.bestProvider(target.dev, ch.Config())
+		if err != nil {
+			return err
+		}
+		ocEnd = prov.Endpoint(target.BindName + "@" + target.dev.Name())
+	}
+	if err := ch.Connect(ocEnd); err != nil {
+		return err
+	}
+	notifyOffcodeChannel(target, ocEnd)
+	return nil
+}
+
+func (rt *Runtime) bestProvider(d *device.Device, cfg channel.Config) (ChannelProvider, error) {
+	provs := rt.providers[d.Name()]
+	if len(provs) == 0 {
+		return nil, fmt.Errorf("core: no channel provider for device %s", d.Name())
+	}
+	best := provs[0]
+	bestScore := best.Cost(cfg).score(cfg.MaxMessage)
+	for _, p := range provs[1:] {
+		if s := p.Cost(cfg).score(cfg.MaxMessage); s < bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best, nil
+}
+
+// ChannelAware is implemented by Offcode behaviours that want to be told
+// when a new channel endpoint is connected to them ("the OOB-channel is
+// usually used to notify the Offcode regarding ... availability of other
+// channels", §3.2).
+type ChannelAware interface {
+	ChannelConnected(ep *channel.Endpoint)
+}
+
+func notifyOffcodeChannel(h *Handle, ep *channel.Endpoint) {
+	if h.behaviour == nil {
+		return
+	}
+	if ca, ok := h.behaviour.(ChannelAware); ok {
+		ca.ChannelConnected(ep)
+	}
+}
+
+// Providers lists the registered providers for a device name.
+func (rt *Runtime) Providers(deviceName string) []ChannelProvider {
+	return append([]ChannelProvider(nil), rt.providers[deviceName]...)
+}

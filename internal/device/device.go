@@ -1,0 +1,326 @@
+// Package device models a programmable peripheral: an embedded CPU, local
+// memory, a DMA engine mastering the host bus, precise hardware timers, and
+// a firmware environment that HYDRA can load Offcodes into.
+//
+// The paper's offloading arguments map onto explicit model features:
+//
+//   - "Timeliness guarantees" (§1.1 #2): device timers fire at their exact
+//     deadline plus microsecond-scale noise — no 1 ms tick quantization —
+//     which is what produces the offloaded server's 0.04 ms jitter stddev
+//     against the host's 0.5 ms.
+//   - "Memory bottlenecks" (§1.1 #1): device work touches only local memory;
+//     the host L2 model never sees it.
+//   - "Reduced power consumption" (§1.1 #3): devices carry idle/busy power
+//     ratings (the paper contrasts a 68 W Pentium 4 with a 0.5 W XScale).
+//
+// Device memory is a real byte slice: the HYDRA loader writes linked Offcode
+// images into it, and tests verify relocation bytes end to end.
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hydra/internal/bus"
+	"hydra/internal/hostos"
+	"hydra/internal/sim"
+)
+
+// Class describes a device class as ODF <device-class> entries do (paper
+// Figure 4): applications request classes, and the runtime matches installed
+// devices against them.
+type Class struct {
+	ID     uint32
+	Name   string
+	Bus    string // e.g. "pci"
+	MAC    string // e.g. "ethernet" (optional)
+	Vendor string // optional
+}
+
+// Matches reports whether a concrete device class satisfies a requested
+// class. Empty fields in the request are wildcards; a zero ID is a wildcard.
+func (want Class) Matches(have Class) bool {
+	if want.ID != 0 && want.ID != have.ID {
+		return false
+	}
+	if want.Name != "" && want.Name != have.Name {
+		return false
+	}
+	if want.Bus != "" && want.Bus != have.Bus {
+		return false
+	}
+	if want.MAC != "" && want.MAC != have.MAC {
+		return false
+	}
+	if want.Vendor != "" && want.Vendor != have.Vendor {
+		return false
+	}
+	return true
+}
+
+// Config describes one programmable device.
+type Config struct {
+	Name          string
+	Class         Class
+	CPUFreqHz     float64  // embedded core clock (e.g. 600e6 for XScale)
+	LocalMemBytes int      // firmware-managed local memory
+	TimerJitter   sim.Time // stddev of hardware timer firing error
+	PowerIdleW    float64
+	PowerBusyW    float64
+}
+
+// XScaleNIC is a 3Com 3C985B-class programmable NIC profile: 600 MHz
+// XScale-ish core, 2 MB local SRAM, sub-50 µs timers, 0.5 W busy.
+func XScaleNIC(name string) Config {
+	return Config{
+		Name:          name,
+		Class:         Class{ID: 0x0001, Name: "Network Device", Bus: "pci", MAC: "ethernet", Vendor: "3COM"},
+		CPUFreqHz:     600e6,
+		LocalMemBytes: 2 << 20,
+		TimerJitter:   25 * sim.Microsecond,
+		PowerIdleW:    0.2,
+		PowerBusyW:    0.5,
+	}
+}
+
+// Device is one programmable peripheral attached to a host.
+type Device struct {
+	cfg  Config
+	eng  *sim.Engine
+	host *hostos.Machine
+	bsys *bus.Bus
+	rng  *rand.Rand
+
+	mem      []byte
+	memUsed  int
+	exports  map[string]uint64
+	busyTime sim.Time
+	busy     bool
+	queue    []*devSegment
+	// DMAWritesToHost invalidate host cache lines; reads do not.
+	dmaBytesIn  uint64
+	dmaBytesOut uint64
+}
+
+type devSegment struct {
+	cycles uint64
+	k      func()
+}
+
+// New attaches a device to host over b.
+func New(eng *sim.Engine, host *hostos.Machine, b *bus.Bus, cfg Config) *Device {
+	if cfg.CPUFreqHz <= 0 || cfg.LocalMemBytes <= 0 {
+		panic("device: invalid config")
+	}
+	d := &Device{
+		cfg:     cfg,
+		eng:     eng,
+		host:    host,
+		bsys:    b,
+		rng:     eng.NewRand(int64(cfg.Class.ID)*977 + int64(len(cfg.Name))),
+		mem:     make([]byte, cfg.LocalMemBytes),
+		exports: make(map[string]uint64),
+	}
+	return d
+}
+
+// Name returns the device name (its bus agent identity).
+func (d *Device) Name() string { return d.cfg.Name }
+
+// Class returns the device's hardware class.
+func (d *Device) Class() Class { return d.cfg.Class }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Host returns the host machine the device is attached to.
+func (d *Device) Host() *hostos.Machine { return d.host }
+
+// Agent returns the device's bus agent name.
+func (d *Device) Agent() bus.Agent { return bus.Agent(d.cfg.Name) }
+
+// CyclesToTime converts embedded-CPU cycles to time.
+func (d *Device) CyclesToTime(cycles uint64) sim.Time {
+	return sim.Time(float64(cycles) / d.cfg.CPUFreqHz * float64(sim.Second))
+}
+
+// Exec runs cycles of firmware work on the embedded CPU, serialized with
+// other device work, then calls k.
+func (d *Device) Exec(cycles uint64, k func()) {
+	d.queue = append(d.queue, &devSegment{cycles: cycles, k: k})
+	d.pump()
+}
+
+func (d *Device) pump() {
+	if d.busy || len(d.queue) == 0 {
+		return
+	}
+	s := d.queue[0]
+	d.queue = d.queue[1:]
+	d.busy = true
+	dur := d.CyclesToTime(s.cycles)
+	d.busyTime += dur
+	d.eng.Schedule(dur, func() {
+		d.busy = false
+		if s.k != nil {
+			s.k()
+		}
+		d.pump()
+	})
+}
+
+// BusyTime reports accumulated embedded-CPU busy time.
+func (d *Device) BusyTime() sim.Time { return d.busyTime }
+
+// EnergyJoules estimates energy consumed so far from the power ratings.
+func (d *Device) EnergyJoules() float64 {
+	now := d.eng.Now().Float64Seconds()
+	busy := d.busyTime.Float64Seconds()
+	if busy > now {
+		busy = now
+	}
+	return busy*d.cfg.PowerBusyW + (now-busy)*d.cfg.PowerIdleW
+}
+
+// Timer arms a hardware timer that fires after d±jitter, with no tick
+// quantization. This is the device-side counterpart of Task.Sleep.
+func (d *Device) Timer(after sim.Time, k func()) {
+	noise := sim.Time(d.rng.NormFloat64() * float64(d.cfg.TimerJitter))
+	t := after + noise
+	if t < 0 {
+		t = 0
+	}
+	d.eng.Schedule(t, k)
+}
+
+// PeriodicTimer fires k every period±jitter. Unlike host timer loops the
+// period does not accumulate drift: each deadline is period after the
+// previous deadline, not after the previous firing.
+func (d *Device) PeriodicTimer(period sim.Time, k func()) *sim.Ticker {
+	tk := &sim.Ticker{}
+	deadline := d.eng.Now()
+	var arm func()
+	arm = func() {
+		deadline += period
+		noise := sim.Time(d.rng.NormFloat64() * float64(d.cfg.TimerJitter))
+		at := deadline + noise
+		d.eng.At(at, func() {
+			if tk.Stopped() {
+				return
+			}
+			k()
+			arm()
+		})
+	}
+	arm()
+	return tk
+}
+
+// --- Local memory and firmware exports (used by the HYDRA loader) ---
+
+// AllocMem reserves size bytes of device-local memory and returns its
+// device address. This is the paper's AllocateOffcodeMemory (§4.2).
+func (d *Device) AllocMem(size int) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("device %s: alloc of %d bytes", d.cfg.Name, size)
+	}
+	const align = 16
+	base := (d.memUsed + align - 1) &^ (align - 1)
+	if base+size > len(d.mem) {
+		return 0, fmt.Errorf("device %s: out of local memory (%d used, %d requested, %d total)",
+			d.cfg.Name, d.memUsed, size, len(d.mem))
+	}
+	d.memUsed = base + size
+	return uint64(base), nil
+}
+
+// MemUsed reports bytes of local memory allocated.
+func (d *Device) MemUsed() int { return d.memUsed }
+
+// WriteMem copies data into device memory at addr.
+func (d *Device) WriteMem(addr uint64, data []byte) error {
+	if int(addr)+len(data) > len(d.mem) {
+		return fmt.Errorf("device %s: write beyond local memory", d.cfg.Name)
+	}
+	copy(d.mem[addr:], data)
+	return nil
+}
+
+// ReadMem returns a copy of size bytes at addr.
+func (d *Device) ReadMem(addr uint64, size int) ([]byte, error) {
+	if int(addr)+size > len(d.mem) {
+		return nil, fmt.Errorf("device %s: read beyond local memory", d.cfg.Name)
+	}
+	out := make([]byte, size)
+	copy(out, d.mem[addr:])
+	return out, nil
+}
+
+// Export publishes a firmware symbol at a device address; the host-side
+// linker resolves Offcode relocations against these.
+func (d *Device) Export(symbol string, addr uint64) { d.exports[symbol] = addr }
+
+// Exports returns the firmware symbol table.
+func (d *Device) Exports() map[string]uint64 {
+	out := make(map[string]uint64, len(d.exports))
+	for k, v := range d.exports {
+		out[k] = v
+	}
+	return out
+}
+
+// --- DMA ---
+
+// DMAToHost writes size bytes from the device into host memory at hostAddr:
+// one bus transaction, then host-side cache invalidation of the target lines.
+func (d *Device) DMAToHost(hostAddr uint64, size int, done func()) {
+	d.dmaBytesIn += uint64(size)
+	d.bsys.Transfer(d.Agent(), bus.MainMemory, size, func() {
+		d.host.DMAWrite(hostAddr, size)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// DMAFromHost reads size bytes of host memory into the device. Reads do not
+// invalidate host cache lines.
+func (d *Device) DMAFromHost(hostAddr uint64, size int, done func()) {
+	d.dmaBytesOut += uint64(size)
+	d.bsys.Transfer(bus.MainMemory, d.Agent(), size, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// DMAToPeer moves size bytes directly to another device (peer-to-peer bus
+// transaction, no host memory involvement) — the TiVoPC NIC→GPU/disk path.
+func (d *Device) DMAToPeer(peer *Device, size int, done func()) {
+	d.bsys.Transfer(d.Agent(), peer.Agent(), size, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// DMAToPeers multicasts size bytes to several devices in one transaction if
+// the bus supports it (paper §1 fn.2: "if the bus architecture allows it,
+// this packet could be transferred in a single bus transaction").
+func (d *Device) DMAToPeers(peers []*Device, size int, done func()) {
+	agents := make([]bus.Agent, len(peers))
+	for i, p := range peers {
+		agents[i] = p.Agent()
+	}
+	d.bsys.TransferMulti(d.Agent(), agents, size, done)
+}
+
+// InterruptHost raises a host interrupt attributed to this device.
+func (d *Device) InterruptHost(cycles uint64, k func()) {
+	d.host.Interrupt(d.cfg.Name, cycles, k)
+}
+
+// DMAStats reports total DMA traffic (bytes written to host, read from host).
+func (d *Device) DMAStats() (toHost, fromHost uint64) {
+	return d.dmaBytesIn, d.dmaBytesOut
+}

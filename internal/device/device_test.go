@@ -1,0 +1,269 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/bus"
+	"hydra/internal/cache"
+	"hydra/internal/hostos"
+	"hydra/internal/sim"
+	"hydra/internal/stats"
+)
+
+func rig() (*sim.Engine, *hostos.Machine, *bus.Bus, *Device) {
+	eng := sim.NewEngine(3)
+	host := hostos.New(eng, "host", hostos.PentiumIV())
+	b := bus.New(eng, bus.DefaultConfig())
+	d := New(eng, host, b, XScaleNIC("nic0"))
+	return eng, host, b, d
+}
+
+func TestClassMatches(t *testing.T) {
+	have := Class{ID: 1, Name: "Network Device", Bus: "pci", MAC: "ethernet", Vendor: "3COM"}
+	cases := []struct {
+		want Class
+		ok   bool
+	}{
+		{Class{}, true}, // all wildcards
+		{Class{Name: "Network Device"}, true},
+		{Class{Name: "Network Device", Bus: "pci"}, true},
+		{Class{Vendor: "3COM"}, true},
+		{Class{ID: 2}, false},
+		{Class{Name: "Storage Device"}, false},
+		{Class{Bus: "usb"}, false},
+		{Class{MAC: "token-ring"}, false},
+		{Class{Vendor: "Intel"}, false},
+	}
+	for i, c := range cases {
+		if got := c.want.Matches(have); got != c.ok {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, c.ok)
+		}
+	}
+}
+
+func TestExecSerialized(t *testing.T) {
+	eng, _, _, d := rig()
+	var first, second sim.Time
+	d.Exec(600_000, func() { first = eng.Now() })  // 1 ms at 600 MHz
+	d.Exec(600_000, func() { second = eng.Now() }) // queued
+	eng.RunAll()
+	if first != sim.Millisecond {
+		t.Fatalf("first done at %v", first)
+	}
+	if second != 2*sim.Millisecond {
+		t.Fatalf("second done at %v, want 2ms", second)
+	}
+	if d.BusyTime() != 2*sim.Millisecond {
+		t.Fatalf("busy = %v", d.BusyTime())
+	}
+}
+
+func TestTimerPrecision(t *testing.T) {
+	eng, _, _, d := rig()
+	var wakes []float64
+	var arm func()
+	n := 0
+	arm = func() {
+		d.Timer(5*sim.Millisecond, func() {
+			wakes = append(wakes, eng.Now().Milliseconds())
+			n++
+			if n < 200 {
+				arm()
+			}
+		})
+	}
+	arm()
+	eng.RunAll()
+	gaps := make([]float64, 0, len(wakes)-1)
+	for i := 1; i < len(wakes); i++ {
+		gaps = append(gaps, wakes[i]-wakes[i-1])
+	}
+	s := stats.Summarize(gaps)
+	if math.Abs(s.Mean-5.0) > 0.05 {
+		t.Fatalf("device timer mean gap = %v ms, want ~5", s.Mean)
+	}
+	// Jitter should be tens of microseconds, far below host tick (1 ms).
+	if s.StdDev > 0.1 {
+		t.Fatalf("device timer stddev = %v ms, want < 0.1", s.StdDev)
+	}
+}
+
+func TestPeriodicTimerNoDrift(t *testing.T) {
+	eng, _, _, d := rig()
+	var times []sim.Time
+	tk := d.PeriodicTimer(5*sim.Millisecond, func() {
+		times = append(times, eng.Now())
+	})
+	eng.Run(sim.Second)
+	tk.Stop()
+	if len(times) < 195 || len(times) > 205 {
+		t.Fatalf("got %d firings in 1s, want ~200", len(times))
+	}
+	// The k-th deadline is k*5ms; firing error must stay bounded (no drift).
+	last := times[len(times)-1]
+	wantLast := sim.Time(len(times)) * 5 * sim.Millisecond
+	drift := float64(last-wantLast) / float64(sim.Millisecond)
+	if math.Abs(drift) > 0.5 {
+		t.Fatalf("accumulated drift = %vms over %d periods", drift, len(times))
+	}
+}
+
+func TestLocalMemory(t *testing.T) {
+	_, _, _, d := rig()
+	a, err := d.AllocMem(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.AllocMem(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("allocations overlap: %d %d", a, b)
+	}
+	if b%16 != 0 {
+		t.Fatalf("allocation not aligned: %d", b)
+	}
+	data := []byte{1, 2, 3, 4}
+	if err := d.WriteMem(a, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadMem(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("readback = %v", got)
+		}
+	}
+}
+
+func TestAllocMemExhaustion(t *testing.T) {
+	_, _, _, d := rig()
+	if _, err := d.AllocMem(d.Config().LocalMemBytes + 1); err == nil {
+		t.Fatal("oversized alloc succeeded")
+	}
+	if _, err := d.AllocMem(0); err == nil {
+		t.Fatal("zero alloc succeeded")
+	}
+	if _, err := d.AllocMem(d.Config().LocalMemBytes); err != nil {
+		t.Fatalf("full-size alloc failed: %v", err)
+	}
+	if _, err := d.AllocMem(16); err == nil {
+		t.Fatal("alloc after exhaustion succeeded")
+	}
+}
+
+func TestMemBoundsChecks(t *testing.T) {
+	_, _, _, d := rig()
+	end := uint64(d.Config().LocalMemBytes)
+	if err := d.WriteMem(end-2, []byte{1, 2, 3}); err == nil {
+		t.Fatal("out-of-bounds write succeeded")
+	}
+	if _, err := d.ReadMem(end-2, 3); err == nil {
+		t.Fatal("out-of-bounds read succeeded")
+	}
+}
+
+func TestExports(t *testing.T) {
+	_, _, _, d := rig()
+	d.Export("hydra.Runtime.GetOffcode", 0x1000)
+	ex := d.Exports()
+	if ex["hydra.Runtime.GetOffcode"] != 0x1000 {
+		t.Fatalf("exports = %v", ex)
+	}
+	ex["mutate"] = 1 // must not leak into the device
+	if _, leaked := d.Exports()["mutate"]; leaked {
+		t.Fatal("Exports returned aliased map")
+	}
+}
+
+func TestDMAToHostInvalidates(t *testing.T) {
+	eng, host, _, d := rig()
+	task := host.NewTask("t")
+	buf := host.Alloc(1024)
+	task.TouchRange(cache.Kernel, buf, 1024)
+	eng.RunAll()
+	host.L2().ResetStats()
+
+	done := false
+	d.DMAToHost(buf, 1024, func() { done = true })
+	eng.RunAll()
+	if !done {
+		t.Fatal("DMA completion not called")
+	}
+	task.TouchRange(cache.Kernel, buf, 1024)
+	if got := host.L2().Stats(cache.Kernel).Misses; got != 16 {
+		t.Fatalf("misses after DMA = %d, want 16 (lines invalidated)", got)
+	}
+	in, out := d.DMAStats()
+	if in != 1024 || out != 0 {
+		t.Fatalf("dma stats = %d/%d", in, out)
+	}
+}
+
+func TestDMAFromHostNoInvalidate(t *testing.T) {
+	eng, host, _, d := rig()
+	task := host.NewTask("t")
+	buf := host.Alloc(1024)
+	task.TouchRange(cache.Kernel, buf, 1024)
+	eng.RunAll()
+	host.L2().ResetStats()
+
+	d.DMAFromHost(buf, 1024, nil)
+	eng.RunAll()
+	task.TouchRange(cache.Kernel, buf, 1024)
+	if got := host.L2().Stats(cache.Kernel).Misses; got != 0 {
+		t.Fatalf("DMA read invalidated cache: %d misses", got)
+	}
+}
+
+func TestDMAToPeersSingleTransaction(t *testing.T) {
+	eng, host, b, d := rig()
+	gpu := New(eng, host, b, Config{
+		Name: "gpu0", Class: Class{ID: 3, Name: "Display Device", Bus: "pci"},
+		CPUFreqHz: 500e6, LocalMemBytes: 1 << 20,
+	})
+	disk := New(eng, host, b, Config{
+		Name: "disk0", Class: Class{ID: 2, Name: "Storage Device", Bus: "pci"},
+		CPUFreqHz: 400e6, LocalMemBytes: 1 << 20,
+	})
+	before := b.Total().Transactions
+	done := false
+	d.DMAToPeers([]*Device{gpu, disk}, 1024, func() { done = true })
+	eng.RunAll()
+	if !done {
+		t.Fatal("multicast DMA did not complete")
+	}
+	if got := b.Total().Transactions - before; got != 1 {
+		t.Fatalf("multicast used %d transactions, want 1", got)
+	}
+}
+
+func TestInterruptHost(t *testing.T) {
+	eng, host, _, d := rig()
+	fired := false
+	d.InterruptHost(2400, func() { fired = true })
+	eng.RunAll()
+	if !fired {
+		t.Fatal("host interrupt not serviced")
+	}
+	if host.Interrupts() != 1 {
+		t.Fatalf("host interrupts = %d", host.Interrupts())
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	eng, _, _, d := rig()
+	d.Exec(600e6/2, nil) // 0.5 s busy at 600 MHz
+	eng.RunAll()
+	eng.Schedule(sim.Second/2, func() {}) // idle until t=1 s
+	eng.RunAll()
+	// 0.5 s busy at 0.5 W + 0.5 s idle at 0.2 W = 0.35 J.
+	e := d.EnergyJoules()
+	if math.Abs(e-0.35) > 0.01 {
+		t.Fatalf("energy = %v J, want 0.35", e)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1(t *testing.T) {
+	f := RunFigure1()
+	if len(f.TX) != len(f.RX) || len(f.TX) == 0 {
+		t.Fatal("empty series")
+	}
+	out := f.Render()
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable2Figure9Shape(t *testing.T) {
+	r, err := RunTable2Figure9(DefaultSeed, QuickDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckJitterShape(r); err != nil {
+		t.Fatal(err)
+	}
+	t2 := r.RenderTable2()
+	if !strings.Contains(t2, "Offloaded Server") {
+		t.Fatalf("table missing rows:\n%s", t2)
+	}
+	f9 := r.RenderFigure9()
+	if !strings.Contains(f9, "CDF") || !strings.Contains(f9, "#") {
+		t.Fatalf("figure render broken:\n%s", f9)
+	}
+}
+
+func TestTable3Figure10Shape(t *testing.T) {
+	r, err := RunTable3Figure10(DefaultSeed, QuickDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ServerLoadRow{}
+	for _, row := range r.Rows {
+		byName[row.Scenario] = row
+	}
+	if !(byName["Simple Server"].CPU.Mean > byName["Sendfile Server"].CPU.Mean &&
+		byName["Sendfile Server"].CPU.Mean > byName["Offloaded Server"].CPU.Mean) {
+		t.Fatalf("CPU ordering broken: %+v", r.Rows)
+	}
+	if byName["Simple Server"].L2Slowdown <= 1.0 {
+		t.Fatalf("simple server slowdown = %v, want > 1", byName["Simple Server"].L2Slowdown)
+	}
+	if s := byName["Offloaded Server"].L2Slowdown; s < 0.97 || s > 1.03 {
+		t.Fatalf("offloaded slowdown = %v, want ≈1", s)
+	}
+	if !strings.Contains(r.RenderTable3(), "Server Side CPU") {
+		t.Fatal("table render broken")
+	}
+	if !strings.Contains(r.RenderFigure10(), "L2 Slowdown") {
+		t.Fatal("figure render broken")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r, err := RunTable4(DefaultSeed, QuickDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ClientRow{}
+	for _, row := range r.Rows {
+		byName[row.Scenario] = row
+	}
+	idle := byName["Idle Client"]
+	user := byName["User-space Client"]
+	off := byName["Offloaded Client"]
+	if user.CPU.Mean <= idle.CPU.Mean*1.5 {
+		t.Fatalf("user client CPU %.2f not clearly above idle %.2f", user.CPU.Mean, idle.CPU.Mean)
+	}
+	if off.CPU.Mean > idle.CPU.Mean*1.1 {
+		t.Fatalf("offloaded client CPU %.2f above idle %.2f", off.CPU.Mean, idle.CPU.Mean)
+	}
+	if user.MissDelta <= 0.02 {
+		t.Fatalf("user client miss delta %.3f, want positive", user.MissDelta)
+	}
+	if off.MissDelta > 0.02 {
+		t.Fatalf("offloaded client miss delta %.3f, want ≈0", off.MissDelta)
+	}
+	if !user.Verified || !off.Verified {
+		t.Fatal("decode verification failed")
+	}
+	if !strings.Contains(r.RenderTable4(), "Client Side CPU") ||
+		!strings.Contains(r.RenderClientL2(), "X1") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	r, err := RunEnergy(DefaultSeed, QuickDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	simple, off := r.Rows[0], r.Rows[2]
+	if simple.HostJoules <= 0 {
+		t.Fatal("simple server consumed no marginal host energy")
+	}
+	if off.HostJoules > simple.HostJoules/10 {
+		t.Fatalf("offloaded host energy %.3f J not ≪ simple %.3f J", off.HostJoules, simple.HostJoules)
+	}
+	// The device's marginal draw must be far below what it saves.
+	if off.DeviceJoules >= simple.HostJoules {
+		t.Fatalf("device energy %.4f J exceeds host saving %.3f J", off.DeviceJoules, simple.HostJoules)
+	}
+	if !strings.Contains(r.Render(), "X5") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestLayoutAblation(t *testing.T) {
+	a, err := RunLayoutAblation(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GreedyWins == a.Graphs {
+		t.Fatal("greedy always optimal: ablation uninformative")
+	}
+	if a.MeanGapFrac < 0 || a.MeanGapFrac > 1 {
+		t.Fatalf("gap fraction = %v", a.MeanGapFrac)
+	}
+	if !strings.Contains(a.Render(), "X2") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestChannelAblation(t *testing.T) {
+	a, err := RunChannelAblation(8192, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StagedTime <= a.ZeroCopyTime {
+		t.Fatalf("staged (%v) not slower than zero-copy (%v)", a.StagedTime, a.ZeroCopyTime)
+	}
+	if a.StagedKernelAccesses <= a.ZeroCopyKernelAccesses {
+		t.Fatal("staged did not touch more cache")
+	}
+	if !strings.Contains(a.Render(), "X3") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestLoaderAblation(t *testing.T) {
+	a, err := RunLoaderAblation(16<<10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeviceLink <= a.HostLink {
+		t.Fatalf("device-link (%v) not slower than host-link (%v)", a.DeviceLink, a.HostLink)
+	}
+	if a.DeviceLinkMem <= a.HostLinkMem {
+		t.Fatal("device-link did not use more device memory")
+	}
+	if !strings.Contains(a.Render(), "X4") {
+		t.Fatal("render broken")
+	}
+}

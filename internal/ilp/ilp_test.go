@@ -1,0 +1,303 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestUnconstrainedMax(t *testing.T) {
+	p := &Problem{NumVars: 3, Objective: []float64{1, -2, 3}}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1, 2: 1}, Sense: LE, RHS: 3})
+	s := solveOK(t, p)
+	if s.X[0] != 1 || s.X[1] != 0 || s.X[2] != 1 {
+		t.Fatalf("x = %v", s.X)
+	}
+	if math.Abs(s.Objective-4) > 1e-9 {
+		t.Fatalf("objective = %v", s.Objective)
+	}
+}
+
+func TestKnapsack(t *testing.T) {
+	// Classic: weights 3,4,5,6; values 4,5,6,7; capacity 10.
+	// Optimal: items 1 and 3 (weights 4+6=10, value 12).
+	p := &Problem{NumVars: 4, Objective: []float64{4, 5, 6, 7}}
+	p.AddConstraint(Constraint{
+		Coeffs: map[int]float64{0: 3, 1: 4, 2: 5, 3: 6}, Sense: LE, RHS: 10,
+	})
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-12) > 1e-9 {
+		t.Fatalf("knapsack objective = %v, want 12 (x=%v)", s.Objective, s.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// Choose exactly 2 of 4, maximize preference.
+	p := &Problem{NumVars: 4, Objective: []float64{5, 1, 4, 2}}
+	p.AddConstraint(Constraint{
+		Coeffs: map[int]float64{0: 1, 1: 1, 2: 1, 3: 1}, Sense: EQ, RHS: 2,
+	})
+	s := solveOK(t, p)
+	if s.X[0] != 1 || s.X[2] != 1 || s.X[1] != 0 || s.X[3] != 0 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestGESense(t *testing.T) {
+	// Must pick at least 3; minimize cost = maximize negative cost.
+	p := &Problem{NumVars: 4, Objective: []float64{-3, -1, -4, -2}}
+	p.AddConstraint(Constraint{
+		Coeffs: map[int]float64{0: 1, 1: 1, 2: 1, 3: 1}, Sense: GE, RHS: 3,
+	})
+	s := solveOK(t, p)
+	count := s.X[0] + s.X[1] + s.X[2] + s.X[3]
+	if count != 3 {
+		t.Fatalf("picked %d, want 3 (x=%v)", count, s.X)
+	}
+	if math.Abs(s.Objective-(-6)) > 1e-9 { // cheapest three: 1+2+3
+		t.Fatalf("objective = %v, want -6", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1}, Sense: GE, RHS: 3})
+	if _, err := Solve(p, Options{}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestConflictingEqualities(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1}, Sense: EQ, RHS: 1})
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1}, Sense: EQ, RHS: 0})
+	if _, err := Solve(p, Options{}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPaperPullConstraint(t *testing.T) {
+	// Two offcodes, two devices (+host). Variables X[n][k] flattened as
+	// n*3+k, k=0 is host. Pull: both on the same device for every k.
+	idx := func(n, k int) int { return n*3 + k }
+	p := &Problem{NumVars: 6, Objective: make([]float64, 6)}
+	// Maximized offloading: sum of X over k>=1.
+	for n := 0; n < 2; n++ {
+		for k := 1; k < 3; k++ {
+			p.Objective[idx(n, k)] = 1
+		}
+	}
+	// Unique placement per offcode.
+	for n := 0; n < 2; n++ {
+		c := Constraint{Coeffs: map[int]float64{}, Sense: EQ, RHS: 1, Label: "place"}
+		for k := 0; k < 3; k++ {
+			c.Coeffs[idx(n, k)] = 1
+		}
+		p.AddConstraint(c)
+	}
+	// Offcode 1 is only compatible with device 2 (and host).
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{idx(1, 1): 1}, Sense: EQ, RHS: 0, Label: "compat"})
+	// Pull(0,1): X[0][k] == X[1][k] for all k.
+	for k := 0; k < 3; k++ {
+		p.AddConstraint(Constraint{
+			Coeffs: map[int]float64{idx(0, k): 1, idx(1, k): -1}, Sense: EQ, RHS: 0, Label: "pull",
+		})
+	}
+	s := solveOK(t, p)
+	// Both must land on device 2.
+	if s.X[idx(0, 2)] != 1 || s.X[idx(1, 2)] != 1 {
+		t.Fatalf("pull not honored: x = %v", s.X)
+	}
+	if math.Abs(s.Objective-2) > 1e-9 {
+		t.Fatalf("objective = %v", s.Objective)
+	}
+}
+
+func TestFractionalLPForcesBranching(t *testing.T) {
+	// LP relaxation of this has fractional optimum (x=0.5 each); the ILP
+	// must branch and find the integer optimum.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 2, 1: 2}, Sense: LE, RHS: 3})
+	s := solveOK(t, p)
+	if s.Objective != 1 {
+		t.Fatalf("objective = %v, want 1 (x=%v)", s.Objective, s.X)
+	}
+	if s.Nodes < 2 {
+		t.Fatalf("nodes = %d, expected branching", s.Nodes)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []*Problem{
+		{NumVars: 0},
+		{NumVars: 2, Objective: []float64{1}},
+		func() *Problem {
+			p := &Problem{NumVars: 1, Objective: []float64{1}}
+			p.AddConstraint(Constraint{Coeffs: map[int]float64{}, Sense: LE, RHS: 1})
+			return p
+		}(),
+		func() *Problem {
+			p := &Problem{NumVars: 1, Objective: []float64{1}}
+			p.AddConstraint(Constraint{Coeffs: map[int]float64{5: 1}, Sense: LE, RHS: 1})
+			return p
+		}(),
+	}
+	for i, p := range cases {
+		if _, err := Solve(p, Options{}); err == nil {
+			t.Errorf("case %d solved, want validation error", i)
+		}
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	// A problem that needs more than one node, with budget 1.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 2, 1: 2}, Sense: LE, RHS: 3})
+	if _, err := Solve(p, Options{MaxNodes: 1}); err == nil {
+		t.Fatal("expected node budget error")
+	}
+}
+
+// bruteForce finds the optimum by enumeration, for cross-checking.
+func bruteForce(p *Problem) (best float64, feasible bool) {
+	n := p.NumVars
+	best = math.Inf(-1)
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, c := range p.Constraints {
+			sum := 0.0
+			for v, coef := range c.Coeffs {
+				if mask>>v&1 == 1 {
+					sum += coef
+				}
+			}
+			switch c.Sense {
+			case LE:
+				ok = ok && sum <= c.RHS+1e-9
+			case GE:
+				ok = ok && sum >= c.RHS-1e-9
+			case EQ:
+				ok = ok && math.Abs(sum-c.RHS) <= 1e-9
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		feasible = true
+		obj := 0.0
+		for v := 0; v < n; v++ {
+			if mask>>v&1 == 1 {
+				obj += p.Objective[v]
+			}
+		}
+		if obj > best {
+			best = obj
+		}
+	}
+	return best, feasible
+}
+
+// Property: on random small problems the solver matches brute force.
+func TestMatchesBruteForceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = float64(rng.Intn(21) - 10)
+		}
+		rows := rng.Intn(5) + 1
+		for r := 0; r < rows; r++ {
+			c := Constraint{Coeffs: map[int]float64{}, Sense: Sense(rng.Intn(3))}
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					c.Coeffs[v] = float64(rng.Intn(9) - 4)
+				}
+			}
+			if len(c.Coeffs) == 0 {
+				c.Coeffs[rng.Intn(n)] = 1
+			}
+			c.RHS = float64(rng.Intn(11) - 3)
+			p.AddConstraint(c)
+		}
+		want, wantFeasible := bruteForce(p)
+		got, err := Solve(p, Options{})
+		if !wantFeasible {
+			return err == ErrInfeasible
+		}
+		if err != nil {
+			return false
+		}
+		// Verify the claimed optimum and that the assignment is feasible.
+		if math.Abs(got.Objective-want) > 1e-6 {
+			return false
+		}
+		for _, c := range p.Constraints {
+			sum := 0.0
+			for v, coef := range c.Coeffs {
+				sum += coef * float64(got.X[v])
+			}
+			switch c.Sense {
+			case LE:
+				if sum > c.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if sum < c.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(sum-c.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargerAssignmentProblem(t *testing.T) {
+	// 10 offcodes × 4 targets (40 vars): place each exactly once,
+	// device capacity 3 each, maximize offloading (k>0). Feasible optimum
+	// offloads 9 of 10 (3 devices × 3 slots).
+	const N, K = 10, 4
+	idx := func(n, k int) int { return n*K + k }
+	p := &Problem{NumVars: N * K, Objective: make([]float64, N*K)}
+	for n := 0; n < N; n++ {
+		for k := 1; k < K; k++ {
+			p.Objective[idx(n, k)] = 1
+		}
+		c := Constraint{Coeffs: map[int]float64{}, Sense: EQ, RHS: 1}
+		for k := 0; k < K; k++ {
+			c.Coeffs[idx(n, k)] = 1
+		}
+		p.AddConstraint(c)
+	}
+	for k := 1; k < K; k++ {
+		c := Constraint{Coeffs: map[int]float64{}, Sense: LE, RHS: 3}
+		for n := 0; n < N; n++ {
+			c.Coeffs[idx(n, k)] = 1
+		}
+		p.AddConstraint(c)
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-9) > 1e-9 {
+		t.Fatalf("objective = %v, want 9", s.Objective)
+	}
+}

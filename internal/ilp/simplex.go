@@ -1,0 +1,324 @@
+package ilp
+
+import "math"
+
+// LP relaxation of the 0-1 problem at a branch-and-bound node: free
+// variables range over [0,1], fixed variables are substituted out.
+//
+// The solver is a dense two-phase primal simplex on the standard-form
+// tableau, using Bland's rule (least-index pivoting) so it cannot cycle.
+// Layout problems are small — tens of variables, around a hundred rows —
+// so dense tableau arithmetic is the simple and fast choice.
+
+type relaxResult struct {
+	x     []float64 // full-length assignment (fixed vars filled in)
+	value float64   // objective value including fixed contributions
+}
+
+const (
+	lpEps = 1e-9
+)
+
+// solveRelaxation maximizes p.Objective over the LP relaxation with the
+// given fixings. It reports feasible=false when the region is empty.
+func solveRelaxation(p *Problem, fixed []int8) (relaxResult, bool) {
+	// Map free variables to contiguous LP columns.
+	col := make([]int, p.NumVars)
+	var free []int
+	for i := range col {
+		if fixed[i] < 0 {
+			col[i] = len(free)
+			free = append(free, i)
+		} else {
+			col[i] = -1
+		}
+	}
+	n := len(free)
+
+	fixedObj := 0.0
+	for i, f := range fixed {
+		if f == 1 {
+			fixedObj += p.Objective[i]
+		}
+	}
+
+	// Build rows: the problem constraints (with fixed terms moved to the
+	// RHS) plus an upper bound x_j ≤ 1 per free variable.
+	type row struct {
+		a     []float64
+		sense Sense
+		b     float64
+	}
+	var rows []row
+	for _, c := range p.Constraints {
+		a := make([]float64, n)
+		b := c.RHS
+		touched := false
+		for v, coef := range c.Coeffs {
+			if fixed[v] >= 0 {
+				b -= coef * float64(fixed[v])
+				continue
+			}
+			a[col[v]] += coef
+			touched = true
+		}
+		if !touched {
+			// Fully fixed row: check it directly.
+			switch c.Sense {
+			case LE:
+				if b < -lpEps {
+					return relaxResult{}, false
+				}
+			case GE:
+				if b > lpEps {
+					return relaxResult{}, false
+				}
+			case EQ:
+				if math.Abs(b) > lpEps {
+					return relaxResult{}, false
+				}
+			}
+			continue
+		}
+		rows = append(rows, row{a: a, sense: c.Sense, b: b})
+	}
+	for j := 0; j < n; j++ {
+		a := make([]float64, n)
+		a[j] = 1
+		rows = append(rows, row{a: a, sense: LE, b: 1})
+	}
+
+	if n == 0 {
+		return relaxResult{x: fixedX(p, fixed), value: fixedObj}, true
+	}
+
+	// Standard form: normalize b ≥ 0, add slack/surplus/artificial columns.
+	m := len(rows)
+	// Column plan: [0,n) structural, then one slack/surplus per LE/GE row,
+	// then artificials for GE/EQ rows.
+	numSlack := 0
+	for _, r := range rows {
+		if r.sense == LE || r.sense == GE {
+			numSlack++
+		}
+	}
+	numArt := 0
+	for _, r := range rows {
+		if r.sense != LE || r.b < 0 { // after normalization some LE become GE
+			// counted precisely below; this is an upper bound
+			numArt++
+		}
+	}
+	_ = numArt
+
+	// Normalize senses with b >= 0 first.
+	for i := range rows {
+		if rows[i].b < 0 {
+			for j := range rows[i].a {
+				rows[i].a[j] = -rows[i].a[j]
+			}
+			rows[i].b = -rows[i].b
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+	// Count exact column needs.
+	numSlack = 0
+	numArt = 0
+	for _, r := range rows {
+		switch r.sense {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+	// Tableau: m rows × (total+1) columns (last is RHS).
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt := n
+	artAt := n + numSlack
+	artCols := make([]int, 0, numArt)
+	for i, r := range rows {
+		t[i] = make([]float64, total+1)
+		copy(t[i], r.a)
+		t[i][total] = r.b
+		switch r.sense {
+		case LE:
+			t[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			t[i][slackAt] = -1
+			slackAt++
+			t[i][artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			t[i][artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials (maximize the negation).
+	if len(artCols) > 0 {
+		isArt := make([]bool, total)
+		for _, c := range artCols {
+			isArt[c] = true
+		}
+		cost := make([]float64, total)
+		for _, c := range artCols {
+			cost[c] = -1
+		}
+		val := simplexRun(t, basis, cost, total)
+		if val < -lpEps {
+			return relaxResult{}, false // artificials cannot be driven out
+		}
+		// Pivot any artificial still basic (at zero level) out if possible.
+		for i := range basis {
+			if !isArt[basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+numSlack; j++ {
+				if math.Abs(t[i][j]) > lpEps {
+					pivot(t, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it (harmless: the artificial stays
+				// basic at level 0 and never re-enters with cost 0).
+				_ = pivoted
+			}
+		}
+		// Remove artificial columns from consideration by zeroing them.
+		for _, c := range artCols {
+			for i := range t {
+				t[i][c] = 0
+			}
+		}
+	}
+
+	// Phase 2: maximize the real objective.
+	cost := make([]float64, total)
+	for j, v := range free {
+		cost[j] = p.Objective[v]
+	}
+	val := simplexRun(t, basis, cost, total)
+
+	x := fixedX(p, fixed)
+	for i, b := range basis {
+		if b < n {
+			x[free[b]] = t[i][total]
+		}
+	}
+	// Clamp numeric noise.
+	for _, v := range free {
+		if x[v] < 0 {
+			x[v] = 0
+		}
+		if x[v] > 1 {
+			x[v] = 1
+		}
+	}
+	return relaxResult{x: x, value: val + fixedObj}, true
+}
+
+func fixedX(p *Problem, fixed []int8) []float64 {
+	x := make([]float64, p.NumVars)
+	for i, f := range fixed {
+		if f == 1 {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// simplexRun maximizes cost·x on the tableau in place and returns the
+// optimal value. The tableau must start with a feasible basis. Bland's rule
+// guarantees termination.
+func simplexRun(t [][]float64, basis []int, cost []float64, total int) float64 {
+	m := len(t)
+	rhs := total
+	// Reduced costs: z_j - c_j computed on demand.
+	for iter := 0; iter < 10000; iter++ {
+		// Compute simplex multipliers implicitly: reduced cost of column j
+		// is c_j - sum_i c_basis[i] * t[i][j].
+		enter := -1
+		for j := 0; j < total; j++ {
+			rc := cost[j]
+			for i := 0; i < m; i++ {
+				cb := cost[basis[i]]
+				if cb != 0 && t[i][j] != 0 {
+					rc -= cb * t[i][j]
+				}
+			}
+			if rc > lpEps {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test (Bland: smallest index on ties).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > lpEps {
+				ratio := t[i][rhs] / t[i][enter]
+				if ratio < bestRatio-lpEps ||
+					(ratio < bestRatio+lpEps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			// Unbounded direction; with x ≤ 1 rows present this cannot
+			// happen for structural columns, but guard anyway.
+			break
+		}
+		pivot(t, basis, leave, enter)
+	}
+	val := 0.0
+	for i := 0; i < m; i++ {
+		val += cost[basis[i]] * t[i][rhs]
+	}
+	return val
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, basis []int, leave, enter int) {
+	row := t[leave]
+	p := row[enter]
+	for j := range row {
+		row[j] /= p
+	}
+	for i := range t {
+		if i == leave {
+			continue
+		}
+		f := t[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * row[j]
+		}
+	}
+	basis[leave] = enter
+}

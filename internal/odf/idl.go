@@ -1,0 +1,154 @@
+package odf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"hydra/internal/guid"
+)
+
+// ParamType enumerates the types the invocation codec can marshal.
+type ParamType string
+
+// Supported parameter types.
+const (
+	TypeBool    ParamType = "bool"
+	TypeInt64   ParamType = "int64"
+	TypeUint64  ParamType = "uint64"
+	TypeFloat64 ParamType = "float64"
+	TypeString  ParamType = "string"
+	TypeBytes   ParamType = "bytes"
+)
+
+// ValidParamType reports whether t is marshalable.
+func ValidParamType(t ParamType) bool {
+	switch t {
+	case TypeBool, TypeInt64, TypeUint64, TypeFloat64, TypeString, TypeBytes:
+		return true
+	}
+	return false
+}
+
+// Param is one named, typed method parameter.
+type Param struct {
+	Name string
+	Type ParamType
+}
+
+// Method is one operation on an Offcode interface.
+type Method struct {
+	Name string
+	Ins  []Param
+	Outs []Param
+}
+
+// Interface is a parsed interface definition — the reproduction's
+// equivalent of the WSDL documents ODFs include. Every interface is
+// "uniquely identified by a GUID" (§3.1).
+type Interface struct {
+	Name    string
+	GUID    guid.GUID
+	Methods []Method
+}
+
+// Method looks up a method by name.
+func (i *Interface) Method(name string) (*Method, bool) {
+	for k := range i.Methods {
+		if i.Methods[k].Name == name {
+			return &i.Methods[k], true
+		}
+	}
+	return nil, false
+}
+
+type xmlInterface struct {
+	XMLName xml.Name    `xml:"interface"`
+	Name    string      `xml:"name,attr"`
+	GUID    string      `xml:"guid,attr"`
+	Methods []xmlMethod `xml:"method"`
+}
+
+type xmlMethod struct {
+	Name string     `xml:"name,attr"`
+	Ins  []xmlParam `xml:"in"`
+	Outs []xmlParam `xml:"out"`
+}
+
+type xmlParam struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+// ParseInterface decodes and validates one interface definition.
+func ParseInterface(data []byte) (*Interface, error) {
+	var x xmlInterface
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("odf: interface: %w", err)
+	}
+	iface := &Interface{Name: strings.TrimSpace(x.Name)}
+	if iface.Name == "" {
+		return nil, fmt.Errorf("odf: interface without name")
+	}
+	g, err := guid.Parse(strings.TrimSpace(x.GUID))
+	if err != nil {
+		return nil, fmt.Errorf("odf: interface %s: %w", iface.Name, err)
+	}
+	iface.GUID = g
+	seen := make(map[string]bool)
+	for _, m := range x.Methods {
+		name := strings.TrimSpace(m.Name)
+		if name == "" {
+			return nil, fmt.Errorf("odf: interface %s: unnamed method", iface.Name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("odf: interface %s: duplicate method %s", iface.Name, name)
+		}
+		seen[name] = true
+		method := Method{Name: name}
+		for _, p := range m.Ins {
+			param, err := parseParam(iface.Name, name, p)
+			if err != nil {
+				return nil, err
+			}
+			method.Ins = append(method.Ins, param)
+		}
+		for _, p := range m.Outs {
+			param, err := parseParam(iface.Name, name, p)
+			if err != nil {
+				return nil, err
+			}
+			method.Outs = append(method.Outs, param)
+		}
+		iface.Methods = append(iface.Methods, method)
+	}
+	return iface, nil
+}
+
+func parseParam(iface, method string, p xmlParam) (Param, error) {
+	t := ParamType(strings.TrimSpace(p.Type))
+	if !ValidParamType(t) {
+		return Param{}, fmt.Errorf("odf: %s.%s: unsupported type %q", iface, method, p.Type)
+	}
+	return Param{Name: strings.TrimSpace(p.Name), Type: t}, nil
+}
+
+// EncodeInterface renders an interface definition to XML.
+func EncodeInterface(i *Interface) []byte {
+	x := xmlInterface{Name: i.Name, GUID: i.GUID.String()}
+	for _, m := range i.Methods {
+		xm := xmlMethod{Name: m.Name}
+		for _, p := range m.Ins {
+			xm.Ins = append(xm.Ins, xmlParam{Name: p.Name, Type: string(p.Type)})
+		}
+		for _, p := range m.Outs {
+			xm.Outs = append(xm.Outs, xmlParam{Name: p.Name, Type: string(p.Type)})
+		}
+		x.Methods = append(x.Methods, xm)
+	}
+	out, err := xml.MarshalIndent(&x, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+// Package odf parses Offcode Description Files — the manifest format of
+// §3.3 — and the WSDL-lite interface definitions they reference.
+//
+// An ODF has three parts (paper Figure 4): the package (bind name, GUID,
+// interface specifications), the software environment (imports of peer
+// Offcodes with Link/Pull/Gang/Asymmetric-Gang constraints), and the target
+// device classes the Offcode can run on. The paper uses full WSDL for
+// interfaces; this reproduction uses a compact XML IDL with the same role:
+// naming methods, their parameters and their types, so proxies can be
+// synthesized and invocations type-checked.
+package odf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hydra/internal/device"
+	"hydra/internal/guid"
+)
+
+// ConstraintType is an inter-Offcode layout constraint (paper §3.3).
+type ConstraintType int
+
+// Constraint kinds, in increasing strength of coupling.
+const (
+	// Link poses no placement constraint; it only records that one
+	// Offcode needs the other to function.
+	Link ConstraintType = iota
+	// Pull requires both Offcodes on the same target device.
+	Pull
+	// Gang requires that both are offloaded (possibly to different
+	// devices) — or both remain on the host.
+	Gang
+	// AsymmetricGang (a→b) requires that if a is offloaded, b is too;
+	// offloading b does not imply offloading a.
+	AsymmetricGang
+)
+
+func (c ConstraintType) String() string {
+	switch c {
+	case Link:
+		return "Link"
+	case Pull:
+		return "Pull"
+	case Gang:
+		return "Gang"
+	case AsymmetricGang:
+		return "AsymmetricGang"
+	}
+	return "invalid"
+}
+
+// ParseConstraintType converts ODF text to a ConstraintType.
+func ParseConstraintType(s string) (ConstraintType, error) {
+	switch strings.ToLower(s) {
+	case "", "link":
+		return Link, nil
+	case "pull":
+		return Pull, nil
+	case "gang":
+		return Gang, nil
+	case "asymmetricgang", "asym-gang", "gangto":
+		return AsymmetricGang, nil
+	}
+	return Link, fmt.Errorf("odf: unknown reference type %q", s)
+}
+
+// Reference is an <import> entry: a dependency on a peer Offcode.
+type Reference struct {
+	File     string // path of the peer's ODF
+	BindName string
+	Type     ConstraintType
+	Priority int
+	GUID     guid.GUID
+}
+
+// DeviceClass mirrors a <device-class> target entry.
+type DeviceClass struct {
+	ID     uint32
+	Name   string
+	Bus    string
+	MAC    string
+	Vendor string
+}
+
+// ToDeviceClass converts to the device package's matcher form.
+func (d DeviceClass) ToDeviceClass() device.Class {
+	return device.Class{ID: d.ID, Name: d.Name, Bus: d.Bus, MAC: d.MAC, Vendor: d.Vendor}
+}
+
+// ODF is one parsed Offcode Description File.
+type ODF struct {
+	BindName       string
+	GUID           guid.GUID
+	InterfaceFiles []string
+	Imports        []Reference
+	Targets        []DeviceClass
+	// HostFallback marks Offcodes that can also execute on the host CPU
+	// (§3.4: "the runtime tries to find an Offcode that is capable of
+	// executing at the host CPU").
+	HostFallback bool
+}
+
+// --- XML schema ---
+
+type xmlODF struct {
+	XMLName xml.Name   `xml:"offcode"`
+	Package xmlPackage `xml:"package"`
+	SwEnv   struct {
+		Imports []xmlImport `xml:"import"`
+	} `xml:"sw-env"`
+	Targets struct {
+		Classes      []xmlDeviceClass `xml:"device-class"`
+		HostFallback bool             `xml:"host-fallback"`
+	} `xml:"targets"`
+}
+
+type xmlPackage struct {
+	BindName  string `xml:"bindname"`
+	GUID      string `xml:"GUID"`
+	Interface struct {
+		Includes []string `xml:"include"`
+	} `xml:"interface"`
+}
+
+type xmlImport struct {
+	File      string `xml:"file"`
+	BindName  string `xml:"bindname"`
+	Reference struct {
+		Type string `xml:"type,attr"`
+		Pri  string `xml:"pri,attr"`
+		GUID string `xml:"GUID"`
+	} `xml:"reference"`
+}
+
+type xmlDeviceClass struct {
+	ID     string `xml:"id,attr"`
+	Name   string `xml:"name"`
+	Bus    string `xml:"bus"`
+	MAC    string `xml:"mac"`
+	Vendor string `xml:"vendor"`
+}
+
+// Parse decodes and validates one ODF document.
+func Parse(data []byte) (*ODF, error) {
+	var x xmlODF
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("odf: %w", err)
+	}
+	o := &ODF{
+		BindName:     strings.TrimSpace(x.Package.BindName),
+		HostFallback: x.Targets.HostFallback,
+	}
+	if o.BindName == "" {
+		return nil, fmt.Errorf("odf: missing <bindname>")
+	}
+	g, err := guid.Parse(strings.TrimSpace(x.Package.GUID))
+	if err != nil {
+		return nil, fmt.Errorf("odf: package %s: %w", o.BindName, err)
+	}
+	o.GUID = g
+	for _, inc := range x.Package.Interface.Includes {
+		inc = strings.Trim(strings.TrimSpace(inc), `"`)
+		if inc != "" {
+			o.InterfaceFiles = append(o.InterfaceFiles, inc)
+		}
+	}
+	for i, imp := range x.SwEnv.Imports {
+		ref := Reference{
+			File:     strings.Trim(strings.TrimSpace(imp.File), `"`),
+			BindName: strings.TrimSpace(imp.BindName),
+		}
+		ct, err := ParseConstraintType(imp.Reference.Type)
+		if err != nil {
+			return nil, fmt.Errorf("odf: %s import %d: %w", o.BindName, i, err)
+		}
+		ref.Type = ct
+		if p := strings.TrimSpace(imp.Reference.Pri); p != "" {
+			pri, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("odf: %s import %d: bad priority %q", o.BindName, i, p)
+			}
+			ref.Priority = pri
+		}
+		if gtext := strings.TrimSpace(imp.Reference.GUID); gtext != "" {
+			g, err := guid.Parse(gtext)
+			if err != nil {
+				return nil, fmt.Errorf("odf: %s import %d: %w", o.BindName, i, err)
+			}
+			ref.GUID = g
+		}
+		if ref.BindName == "" && !ref.GUID.IsValid() {
+			return nil, fmt.Errorf("odf: %s import %d: neither bindname nor GUID", o.BindName, i)
+		}
+		o.Imports = append(o.Imports, ref)
+	}
+	for i, dc := range x.Targets.Classes {
+		c := DeviceClass{
+			Name:   strings.TrimSpace(dc.Name),
+			Bus:    strings.TrimSpace(dc.Bus),
+			MAC:    strings.TrimSpace(dc.MAC),
+			Vendor: strings.TrimSpace(dc.Vendor),
+		}
+		if idText := strings.TrimSpace(dc.ID); idText != "" {
+			id, err := strconv.ParseUint(idText, 0, 32)
+			if err != nil {
+				return nil, fmt.Errorf("odf: %s device-class %d: bad id %q", o.BindName, i, idText)
+			}
+			c.ID = uint32(id)
+		}
+		o.Targets = append(o.Targets, c)
+	}
+	if len(o.Targets) == 0 && !o.HostFallback {
+		return nil, fmt.Errorf("odf: %s: no target device classes and no host fallback", o.BindName)
+	}
+	return o, nil
+}
+
+// Encode renders the ODF back to XML (used by tooling and tests).
+func (o *ODF) Encode() []byte {
+	var x xmlODF
+	x.Package.BindName = o.BindName
+	x.Package.GUID = o.GUID.String()
+	x.Package.Interface.Includes = o.InterfaceFiles
+	for _, r := range o.Imports {
+		var imp xmlImport
+		imp.File = r.File
+		imp.BindName = r.BindName
+		imp.Reference.Type = r.Type.String()
+		imp.Reference.Pri = strconv.Itoa(r.Priority)
+		if r.GUID.IsValid() {
+			imp.Reference.GUID = r.GUID.String()
+		}
+		x.SwEnv.Imports = append(x.SwEnv.Imports, imp)
+	}
+	for _, tc := range o.Targets {
+		x.Targets.Classes = append(x.Targets.Classes, xmlDeviceClass{
+			ID: "0x" + strconv.FormatUint(uint64(tc.ID), 16), Name: tc.Name,
+			Bus: tc.Bus, MAC: tc.MAC, Vendor: tc.Vendor,
+		})
+	}
+	x.Targets.HostFallback = o.HostFallback
+	out, err := xml.MarshalIndent(&x, "", "  ")
+	if err != nil {
+		panic(err) // struct marshaling cannot fail
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package odf
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleODF mirrors the paper's Figure 4 (cleaned up to well-formed XML).
+const sampleODF = `
+<offcode>
+  <package>
+    <bindname>hydra.net.utils.Socket</bindname>
+    <GUID>7070714</GUID>
+    <interface>
+      <include>/offcodes/socket.wsdl</include>
+    </interface>
+  </package>
+  <sw-env>
+    <import>
+      <file>/offcodes/checksum.xdf</file>
+      <bindname>hydra.net.utils.Checksum</bindname>
+      <reference type="Pull" pri="0">
+        <GUID>6060843</GUID>
+      </reference>
+    </import>
+  </sw-env>
+  <targets>
+    <device-class id="0x0001">
+      <name>Network Device</name>
+      <bus>pci</bus>
+      <mac>ethernet</mac>
+      <vendor>3COM</vendor>
+    </device-class>
+  </targets>
+</offcode>`
+
+func TestParseFigure4(t *testing.T) {
+	o, err := Parse([]byte(sampleODF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.BindName != "hydra.net.utils.Socket" {
+		t.Fatalf("bindname = %q", o.BindName)
+	}
+	if o.GUID != 7070714 {
+		t.Fatalf("guid = %v", o.GUID)
+	}
+	if len(o.InterfaceFiles) != 1 || o.InterfaceFiles[0] != "/offcodes/socket.wsdl" {
+		t.Fatalf("interfaces = %v", o.InterfaceFiles)
+	}
+	if len(o.Imports) != 1 {
+		t.Fatalf("imports = %+v", o.Imports)
+	}
+	imp := o.Imports[0]
+	if imp.Type != Pull || imp.GUID != 6060843 || imp.BindName != "hydra.net.utils.Checksum" {
+		t.Fatalf("import = %+v", imp)
+	}
+	if len(o.Targets) != 1 {
+		t.Fatalf("targets = %+v", o.Targets)
+	}
+	dc := o.Targets[0]
+	if dc.ID != 1 || dc.Name != "Network Device" || dc.Bus != "pci" ||
+		dc.MAC != "ethernet" || dc.Vendor != "3COM" {
+		t.Fatalf("device class = %+v", dc)
+	}
+}
+
+func TestParseConstraintTypes(t *testing.T) {
+	cases := map[string]ConstraintType{
+		"":               Link,
+		"Link":           Link,
+		"pull":           Pull,
+		"Gang":           Gang,
+		"AsymmetricGang": AsymmetricGang,
+		"gangto":         AsymmetricGang,
+	}
+	for text, want := range cases {
+		got, err := ParseConstraintType(text)
+		if err != nil || got != want {
+			t.Errorf("ParseConstraintType(%q) = %v, %v", text, got, err)
+		}
+	}
+	if _, err := ParseConstraintType("banana"); err == nil {
+		t.Error("unknown constraint type accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml": `<offcode><package>`,
+		"no bindname": `<offcode><package><GUID>1</GUID></package>
+			<targets><device-class id="1"><name>x</name></device-class></targets></offcode>`,
+		"bad guid": `<offcode><package><bindname>a</bindname><GUID>zero</GUID></package>
+			<targets><device-class id="1"><name>x</name></device-class></targets></offcode>`,
+		"no targets": `<offcode><package><bindname>a</bindname><GUID>5</GUID></package></offcode>`,
+		"bad ref type": `<offcode><package><bindname>a</bindname><GUID>5</GUID></package>
+			<sw-env><import><bindname>b</bindname><reference type="weird"><GUID>6</GUID></reference></import></sw-env>
+			<targets><device-class id="1"><name>x</name></device-class></targets></offcode>`,
+		"import without identity": `<offcode><package><bindname>a</bindname><GUID>5</GUID></package>
+			<sw-env><import><reference type="Pull"></reference></import></sw-env>
+			<targets><device-class id="1"><name>x</name></device-class></targets></offcode>`,
+		"bad class id": `<offcode><package><bindname>a</bindname><GUID>5</GUID></package>
+			<targets><device-class id="xyz"><name>x</name></device-class></targets></offcode>`,
+		"bad priority": `<offcode><package><bindname>a</bindname><GUID>5</GUID></package>
+			<sw-env><import><bindname>b</bindname><reference type="Pull" pri="NaN"><GUID>6</GUID></reference></import></sw-env>
+			<targets><device-class id="1"><name>x</name></device-class></targets></offcode>`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestHostFallbackOnly(t *testing.T) {
+	doc := `<offcode><package><bindname>gui</bindname><GUID>9</GUID></package>
+		<targets><host-fallback>true</host-fallback></targets></offcode>`
+	o, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.HostFallback || len(o.Targets) != 0 {
+		t.Fatalf("odf = %+v", o)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	o, err := Parse([]byte(sampleODF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Parse(o.Encode())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, o.Encode())
+	}
+	if o2.BindName != o.BindName || o2.GUID != o.GUID || len(o2.Imports) != len(o.Imports) ||
+		len(o2.Targets) != len(o.Targets) {
+		t.Fatalf("round trip changed content: %+v vs %+v", o2, o)
+	}
+	if o2.Imports[0].Type != Pull {
+		t.Fatalf("import type lost: %v", o2.Imports[0].Type)
+	}
+	if o2.Targets[0].ID != 1 {
+		t.Fatalf("target id lost: %v", o2.Targets[0].ID)
+	}
+}
+
+func TestToDeviceClass(t *testing.T) {
+	dc := DeviceClass{ID: 2, Name: "Storage Device", Bus: "pci"}
+	c := dc.ToDeviceClass()
+	if c.ID != 2 || c.Name != "Storage Device" || c.Bus != "pci" {
+		t.Fatalf("converted = %+v", c)
+	}
+}
+
+const sampleIDL = `
+<interface name="IChecksum" guid="0x2001">
+  <method name="Compute">
+    <in name="data" type="bytes"/>
+    <out name="sum" type="uint64"/>
+  </method>
+  <method name="Reset"/>
+</interface>`
+
+func TestParseInterface(t *testing.T) {
+	i, err := ParseInterface([]byte(sampleIDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Name != "IChecksum" || i.GUID != 0x2001 {
+		t.Fatalf("iface = %+v", i)
+	}
+	m, ok := i.Method("Compute")
+	if !ok {
+		t.Fatal("Compute missing")
+	}
+	if len(m.Ins) != 1 || m.Ins[0].Type != TypeBytes {
+		t.Fatalf("ins = %+v", m.Ins)
+	}
+	if len(m.Outs) != 1 || m.Outs[0].Type != TypeUint64 {
+		t.Fatalf("outs = %+v", m.Outs)
+	}
+	if _, ok := i.Method("Reset"); !ok {
+		t.Fatal("Reset missing")
+	}
+	if _, ok := i.Method("Nope"); ok {
+		t.Fatal("phantom method found")
+	}
+}
+
+func TestParseInterfaceErrors(t *testing.T) {
+	cases := map[string]string{
+		"no name":     `<interface guid="1"><method name="M"/></interface>`,
+		"bad guid":    `<interface name="I" guid="x"><method name="M"/></interface>`,
+		"dup method":  `<interface name="I" guid="1"><method name="M"/><method name="M"/></interface>`,
+		"bad type":    `<interface name="I" guid="1"><method name="M"><in name="a" type="map"/></method></interface>`,
+		"empty mname": `<interface name="I" guid="1"><method name=""/></interface>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseInterface([]byte(doc)); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestEncodeInterfaceRoundTrip(t *testing.T) {
+	i, err := ParseInterface([]byte(sampleIDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := ParseInterface(EncodeInterface(i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.Name != i.Name || i2.GUID != i.GUID || len(i2.Methods) != len(i.Methods) {
+		t.Fatalf("round trip changed interface")
+	}
+}
+
+func TestValidParamType(t *testing.T) {
+	for _, good := range []ParamType{TypeBool, TypeInt64, TypeUint64, TypeFloat64, TypeString, TypeBytes} {
+		if !ValidParamType(good) {
+			t.Errorf("%v reported invalid", good)
+		}
+	}
+	if ValidParamType("uint8") || ValidParamType("") {
+		t.Error("invalid type accepted")
+	}
+}
+
+func TestConstraintTypeString(t *testing.T) {
+	for ct, want := range map[ConstraintType]string{
+		Link: "Link", Pull: "Pull", Gang: "Gang", AsymmetricGang: "AsymmetricGang",
+	} {
+		if got := ct.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if !strings.Contains(ConstraintType(99).String(), "invalid") {
+		t.Error("out-of-range constraint type has bogus string")
+	}
+}

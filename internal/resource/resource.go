@@ -1,0 +1,132 @@
+// Package resource implements the runtime's hierarchical resource manager.
+//
+// Paper §4: "Resources are managed hierarchically to allow for robust
+// clean-up of child resources in the case of a failing parent object."
+// Every runtime object (application, Offcode, channel, pinned memory
+// region) registers as a node under its owner; closing any node closes its
+// whole subtree, children first, exactly once.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Node is one managed resource. Create children with NewChild; the zero
+// Node is not usable — obtain a root from NewRoot.
+type Node struct {
+	name     string
+	closer   func() error
+	parent   *Node
+	children []*Node
+	closed   bool
+}
+
+// NewRoot creates an unparented resource tree root.
+func NewRoot(name string) *Node {
+	return &Node{name: name}
+}
+
+// NewChild registers a child resource. closer may be nil for grouping
+// nodes. Adding to a closed node returns an error: the subtree is already
+// being torn down and the new resource would leak.
+func (n *Node) NewChild(name string, closer func() error) (*Node, error) {
+	if n.closed {
+		return nil, fmt.Errorf("resource: %s is closed", n.Path())
+	}
+	c := &Node{name: name, closer: closer, parent: n}
+	n.children = append(n.children, c)
+	return c, nil
+}
+
+// MustChild is NewChild for callers that know the parent is open.
+func (n *Node) MustChild(name string, closer func() error) *Node {
+	c, err := n.NewChild(name, closer)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the node's own name.
+func (n *Node) Name() string { return n.name }
+
+// Path returns the /-joined path from the root.
+func (n *Node) Path() string {
+	if n.parent == nil {
+		return n.name
+	}
+	return n.parent.Path() + "/" + n.name
+}
+
+// Closed reports whether Close has run.
+func (n *Node) Closed() bool { return n.closed }
+
+// Children returns the live (unclosed) children.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		if !c.closed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Close tears down the subtree: children in reverse creation order
+// (dependents were created after what they depend on), then this node's
+// closer. Every closer runs exactly once; all errors are joined.
+func (n *Node) Close() error {
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	var errs []error
+	for i := len(n.children) - 1; i >= 0; i-- {
+		if err := n.children[i].Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	n.children = nil
+	if n.closer != nil {
+		if err := n.closer(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", n.Path(), err))
+		}
+	}
+	if n.parent != nil {
+		n.parent.forget(n)
+	}
+	return errors.Join(errs...)
+}
+
+func (n *Node) forget(child *Node) {
+	for i, c := range n.children {
+		if c == child {
+			n.children = append(n.children[:i], n.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// Walk visits the subtree depth-first, parents before children.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.children {
+		c.Walk(fn)
+	}
+}
+
+// Dump renders the subtree for diagnostics.
+func (n *Node) Dump() string {
+	var b strings.Builder
+	var rec func(*Node, int)
+	rec = func(m *Node, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), m.name)
+		for _, c := range m.children {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package resource
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloseOrder(t *testing.T) {
+	var order []string
+	closer := func(name string) func() error {
+		return func() error { order = append(order, name); return nil }
+	}
+	root := NewRoot("root")
+	app := root.MustChild("app", closer("app"))
+	oc1 := app.MustChild("oc1", closer("oc1"))
+	oc1.MustChild("chan1", closer("chan1"))
+	app.MustChild("oc2", closer("oc2"))
+
+	if err := root.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"oc2", "chan1", "oc1", "app"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCloseExactlyOnce(t *testing.T) {
+	count := 0
+	root := NewRoot("root")
+	c := root.MustChild("c", func() error { count++; return nil })
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("closer ran %d times", count)
+	}
+}
+
+func TestCloseChildDetaches(t *testing.T) {
+	root := NewRoot("root")
+	a := root.MustChild("a", nil)
+	a.Close()
+	if got := len(root.Children()); got != 0 {
+		t.Fatalf("children after close = %d", got)
+	}
+}
+
+func TestAddToClosedFails(t *testing.T) {
+	root := NewRoot("root")
+	root.Close()
+	if _, err := root.NewChild("late", nil); err == nil {
+		t.Fatal("adding to closed node succeeded")
+	}
+}
+
+func TestErrorsJoined(t *testing.T) {
+	e1 := errors.New("one")
+	e2 := errors.New("two")
+	root := NewRoot("root")
+	root.MustChild("a", func() error { return e1 })
+	root.MustChild("b", func() error { return e2 })
+	err := root.Close()
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("joined error missing parts: %v", err)
+	}
+}
+
+func TestFailingParentStillClosesChildren(t *testing.T) {
+	childClosed := false
+	root := NewRoot("root")
+	p := root.MustChild("p", func() error { return errors.New("parent boom") })
+	p.MustChild("c", func() error { childClosed = true; return nil })
+	err := p.Close()
+	if err == nil {
+		t.Fatal("parent error swallowed")
+	}
+	if !childClosed {
+		t.Fatal("child leaked when parent closer failed")
+	}
+}
+
+func TestPathAndDump(t *testing.T) {
+	root := NewRoot("rt")
+	a := root.MustChild("app", nil)
+	c := a.MustChild("chan", nil)
+	if c.Path() != "rt/app/chan" {
+		t.Fatalf("path = %q", c.Path())
+	}
+	d := root.Dump()
+	if !strings.Contains(d, "chan") || !strings.Contains(d, "app") {
+		t.Fatalf("dump = %q", d)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	root := NewRoot("root")
+	a := root.MustChild("a", nil)
+	a.MustChild("a1", nil)
+	root.MustChild("b", nil)
+	var names []string
+	root.Walk(func(n *Node) { names = append(names, n.Name()) })
+	want := []string{"root", "a", "a1", "b"}
+	if len(names) != len(want) {
+		t.Fatalf("walk = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("walk = %v, want %v", names, want)
+		}
+	}
+}
+
+// Property: every closer in an arbitrary tree runs exactly once when the
+// root closes, regardless of shape.
+func TestAllClosedOnceProperty(t *testing.T) {
+	prop := func(shape []uint8) bool {
+		root := NewRoot("root")
+		nodes := []*Node{root}
+		counts := make([]int, len(shape))
+		for i, parentSel := range shape {
+			i := i
+			parent := nodes[int(parentSel)%len(nodes)]
+			child, err := parent.NewChild("n", func() error { counts[i]++; return nil })
+			if err != nil {
+				return false
+			}
+			nodes = append(nodes, child)
+		}
+		if err := root.Close(); err != nil {
+			return false
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

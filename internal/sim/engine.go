@@ -1,0 +1,240 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every hardware and operating-system model in this repository (host CPUs,
+// buses, caches, devices, networks) advances on the virtual clock owned by an
+// Engine. Events scheduled at the same instant fire in the order they were
+// scheduled, which makes runs bit-for-bit reproducible for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a floating-point number of seconds to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Float64Seconds reports t as a floating-point number of seconds.
+func (t Time) Float64Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", t.Float64Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback. The zero Event is inert.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At reports the virtual time the event will fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event set.
+// It is not safe for concurrent use; models run single-threaded by design so
+// that execution order is deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	seed    int64
+	stopped bool
+
+	// Fired counts events executed so far; useful for run diagnostics.
+	Fired uint64
+}
+
+// NewEngine returns an engine whose random streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed reports the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NewRand derives an independent deterministic random stream. Models that
+// need private randomness should take their own stream so that adding a model
+// does not perturb the draws seen by others.
+func (e *Engine) NewRand(salt int64) *rand.Rand {
+	const mix = int64(-0x61c8864680b583eb) // golden-ratio multiplier
+	return rand.New(rand.NewSource(e.seed ^ (salt * mix)))
+}
+
+// Schedule arranges for fn to run after delay. A negative delay is treated
+// as zero. It returns the event so callers may cancel it.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. Times in the past
+// are clamped to now.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.Fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// would pass until (events at exactly until still fire). It returns the
+// virtual time at exit.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		// Peek: do not fire events beyond the horizon.
+		if e.queue.Len() == 0 {
+			break
+		}
+		next := e.queue[0]
+		if next.at > until {
+			e.now = until
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// Pending reports the number of events waiting (including canceled ones not
+// yet collected).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Ticker invokes fn every period until the returned stop function is called.
+// The first invocation happens one period from now plus phase.
+type Ticker struct {
+	stop bool
+}
+
+// Stop prevents further ticks.
+func (t *Ticker) Stop() { t.stop = true }
+
+// Stopped reports whether Stop was called.
+func (t *Ticker) Stopped() bool { return t.stop }
+
+// Tick schedules fn to run every period, starting after phase+period.
+func (e *Engine) Tick(period, phase Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive tick period")
+	}
+	t := &Ticker{}
+	var arm func()
+	arm = func() {
+		e.Schedule(period, func() {
+			if t.stop {
+				return
+			}
+			fn()
+			if !t.stop {
+				arm()
+			}
+		})
+	}
+	e.Schedule(phase, arm)
+	return t
+}

@@ -1,0 +1,132 @@
+package tivopc
+
+import (
+	"fmt"
+
+	"hydra/internal/sim"
+	"hydra/internal/stats"
+)
+
+// SampleInterval matches the paper's methodology: "samples were taken
+// every 5 seconds".
+const SampleInterval = 5 * sim.Second
+
+// ServerRun is the measured outcome of one server-side scenario.
+type ServerRun struct {
+	Kind       ServerKind
+	Sent       int
+	JitterGaps []float64 // client-side inter-arrival, ms
+	CPUSamples []float64 // server CPU utilization per window, %
+	MissRates  []float64 // server kernel L2 miss rate per window
+}
+
+// JitterSummary summarizes the jitter gaps (Table 2 row).
+func (r *ServerRun) JitterSummary() stats.Summary { return stats.Summarize(r.JitterGaps) }
+
+// CPUSummary summarizes the CPU samples (Table 3 row).
+func (r *ServerRun) CPUSummary() stats.Summary { return stats.Summarize(r.CPUSamples) }
+
+// MeanMissRate averages the kernel L2 miss-rate samples (Figure 10 bar).
+func (r *ServerRun) MeanMissRate() float64 { return stats.Summarize(r.MissRates).Mean }
+
+// RunServerScenario executes one server variant for duration with a
+// passive (recording-only) client, as in the paper's server-side
+// benchmarks. kind 0 (ServerKind zero value is invalid) is treated as
+// "idle": no server runs, producing the Idle baseline rows.
+func RunServerScenario(kind ServerKind, seed int64, duration sim.Time) (*ServerRun, error) {
+	tb := NewTestbed(seed, duration)
+	run := &ServerRun{Kind: kind}
+
+	client, err := StartClient(tb, IdleClient)
+	if err != nil {
+		return nil, err
+	}
+
+	cpu := tb.Server.SampleUtilization(SampleInterval)
+	miss := tb.Server.SampleKernelMissRate(SampleInterval)
+
+	if kind != 0 {
+		h, err := StartServer(tb, kind, duration)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { run.Sent = h.TotalSent() }()
+	}
+
+	tb.Eng.Run(duration)
+
+	run.JitterGaps = client.Arrivals.Gaps()
+	// Drop the first window (deployment + cold caches).
+	if len(cpu.Samples) > 1 {
+		run.CPUSamples = cpu.Samples[1:]
+	}
+	if len(miss.Samples) > 1 {
+		run.MissRates = miss.Samples[1:]
+	}
+	if kind != 0 && len(run.JitterGaps) < 10 {
+		return nil, fmt.Errorf("tivopc: server %v produced only %d arrivals", kind, len(run.JitterGaps))
+	}
+	return run, nil
+}
+
+// ClientRun is the measured outcome of one client-side scenario.
+type ClientRun struct {
+	Kind          ClientKind
+	CPUSamples    []float64
+	L2Misses      uint64 // total client L2 misses over the run (all contexts)
+	FramesDecoded int
+	Recorded      int // bytes persisted to the NAS by the recording path
+	Verified      bool
+}
+
+// CPUSummary summarizes the client CPU samples (Table 4 row).
+func (r *ClientRun) CPUSummary() stats.Summary { return stats.Summarize(r.CPUSamples) }
+
+// RunClientScenario executes one client variant for duration, fed by the
+// offloaded server (the paper's client benchmarks stream the same movie;
+// the server choice does not affect client-side costs, and the offloaded
+// server is the steadiest source).
+func RunClientScenario(kind ClientKind, seed int64, duration sim.Time) (*ClientRun, error) {
+	tb := NewTestbed(seed, duration)
+	run := &ClientRun{Kind: kind}
+
+	client, err := StartClient(tb, kind)
+	if err != nil {
+		return nil, err
+	}
+	if kind != IdleClient {
+		if _, err := StartServer(tb, OffloadedServer, duration); err != nil {
+			return nil, err
+		}
+	}
+
+	cpu := tb.Client.SampleUtilization(SampleInterval)
+	missBaseline := tb.Client.L2().TotalStats().Misses
+
+	tb.Eng.Run(duration)
+
+	if len(cpu.Samples) > 1 {
+		run.CPUSamples = cpu.Samples[1:]
+	}
+	run.L2Misses = tb.Client.L2().TotalStats().Misses - missBaseline
+
+	switch kind {
+	case UserspaceClient:
+		run.FramesDecoded = client.FramesDecoded
+		run.Verified = client.FramesDecoded > 0 && client.dec.Corrupt == 0
+	case OffloadedClient:
+		if err := client.VerifyPlacement(); err != nil {
+			return nil, err
+		}
+		run.FramesDecoded = client.Decoder.Frames
+		run.Recorded = client.DiskFile.Written
+		run.Verified = client.Decoder.Frames > 0 && client.Decoder.dec.Corrupt == 0 &&
+			client.Display.Shown == client.Decoder.Frames
+	default:
+		run.Verified = true
+	}
+	if kind != IdleClient && run.FramesDecoded == 0 {
+		return nil, fmt.Errorf("tivopc: client %v decoded no frames", kind)
+	}
+	return run, nil
+}

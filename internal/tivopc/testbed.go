@@ -1,0 +1,194 @@
+// Package tivopc implements the paper's case study (§6): a TiVo-like
+// streaming appliance spanning a Video Server and a Video Client, in the
+// configurations the evaluation measures —
+//
+//   - Simple Server: user-space loop, sleep(5 ms) → NFS read() → UDP send()
+//   - Sendfile Server: kernel readahead page cache + zero-copy sendfile
+//   - Offloaded Server: Offcodes on the programmable NIC (File + Broadcast),
+//     paced by the device's precise hardware timer
+//   - User-space Client: interrupt → copy → host MPEG decode → display,
+//     plus recording writes
+//   - Offloaded Client: NIC multicasts packets to GPU and Smart Disk by
+//     peer DMA; the GPU decodes into its framebuffer; the disk's NFS
+//     Offcode records to the NAS; the host does nothing
+//
+// The testbed mirrors §6.4: two 2.4 GHz Pentium IV hosts on a gigabit
+// switch, a NAS holding the movie, 1 kB every 5 ms (200 kB/s).
+package tivopc
+
+import (
+	"fmt"
+
+	"hydra/internal/bus"
+	"hydra/internal/core"
+	"hydra/internal/depot"
+	"hydra/internal/device"
+	"hydra/internal/hostos"
+	"hydra/internal/mpeg"
+	"hydra/internal/netsim"
+	"hydra/internal/nfs"
+	"hydra/internal/sim"
+)
+
+// Stream parameters from §6.4.
+const (
+	ChunkBytes  = 1024
+	ChunkPeriod = 5 * sim.Millisecond
+	MediaPort   = 5004
+	MoviePath   = "/movies/demo.mpg"
+	RecordPath  = "/recordings/demo.rec"
+)
+
+// MovieConfig is the encoded stream profile.
+func MovieConfig() mpeg.Config { return mpeg.Config{W: 320, H: 240, GOPSize: 12, BGap: 2} }
+
+// movieCache holds the generated bitstream, grown on demand: encoding is
+// deterministic, so longer prefixes are stable across runs.
+var movieCache []byte
+
+// Movie returns at least minBytes of encoded stream.
+func Movie(minBytes int) []byte {
+	cfg := MovieConfig()
+	for len(movieCache) < minBytes {
+		enc, err := mpeg.NewEncoder(cfg)
+		if err != nil {
+			panic(err)
+		}
+		// Estimate frames needed from current density, with headroom.
+		frames := 512
+		if len(movieCache) > 0 {
+			perFrame := len(movieCache) / frameEstimate
+			if perFrame > 0 {
+				frames = minBytes/perFrame + 64
+			}
+		}
+		for i := 0; i < frames; i++ {
+			if err := enc.Add(mpeg.GenerateFrame(cfg, i)); err != nil {
+				panic(err)
+			}
+		}
+		enc.Flush()
+		movieCache = enc.Bytes()
+		frameEstimate = frames
+	}
+	return movieCache[:minBytes]
+}
+
+var frameEstimate = 512
+
+// Testbed is the two-host-plus-NAS world of §6.4.
+type Testbed struct {
+	Eng *sim.Engine
+	Net *netsim.Network
+
+	NASStore  *nfs.Store
+	NASServer *nfs.Server
+
+	Server        *hostos.Machine
+	ServerBus     *bus.Bus
+	ServerNIC     *device.Device
+	ServerStation *netsim.Station
+	ServerDepot   *depot.Depot
+	ServerRT      *core.Runtime
+
+	Client            *hostos.Machine
+	ClientBus         *bus.Bus
+	ClientNIC         *device.Device
+	ClientGPU         *device.Device
+	ClientDisk        *device.Device
+	ClientStation     *netsim.Station
+	ClientDiskStation *netsim.Station
+	ClientDepot       *depot.Depot
+	ClientRT          *core.Runtime
+}
+
+// NASConfig models the evaluation NAS: an appliance with ~0.55 ms service
+// time for small operations, ±30%. The jitter makes the host servers'
+// synchronous NFS latency vary enough to smear their inter-send
+// distributions across timer ticks, as Figure 9's histograms show.
+func NASConfig() nfs.ServerConfig {
+	return nfs.ServerConfig{
+		BaseLatency: 550 * sim.Microsecond,
+		PerByte:     4 * sim.Nanosecond,
+		MaxRead:     8192,
+		JitterFrac:  0.45,
+	}
+}
+
+// NewTestbed builds the full §6.4 environment with the movie loaded on the
+// NAS sized for runFor of streaming.
+func NewTestbed(seed int64, runFor sim.Time) *Testbed {
+	tb := &Testbed{}
+	tb.Eng = sim.NewEngine(seed)
+	tb.Net = netsim.New(tb.Eng, netsim.GigabitSwitched())
+
+	// NAS.
+	nasStation := tb.Net.Attach("nas")
+	tb.NASStore = nfs.NewStore()
+	needBytes := int(int64(runFor/ChunkPeriod))*ChunkBytes + 64*ChunkBytes
+	tb.NASStore.Put(MoviePath, Movie(needBytes))
+	tb.NASServer = nfs.NewServer(tb.Eng, nasStation, tb.NASStore, NASConfig())
+
+	// Video Server host.
+	tb.Server = hostos.New(tb.Eng, "server", hostos.PentiumIV())
+	tb.ServerBus = bus.New(tb.Eng, bus.DefaultConfig())
+	tb.ServerNIC = device.New(tb.Eng, tb.Server, tb.ServerBus, device.XScaleNIC("server-nic"))
+	tb.ServerStation = tb.Net.Attach("server")
+	tb.ServerDepot = depot.New()
+	tb.ServerRT = core.New(tb.Eng, tb.Server, tb.ServerBus, tb.ServerDepot, core.Config{})
+	tb.ServerRT.RegisterDevice(tb.ServerNIC)
+	tb.Server.StartIdleLoad(hostos.DefaultIdleLoad())
+
+	// Video Client host: programmable NIC, GPU, Smart Disk (a second
+	// programmable NIC whose firmware speaks NFS, §6.1).
+	tb.Client = hostos.New(tb.Eng, "client", hostos.PentiumIV())
+	tb.ClientBus = bus.New(tb.Eng, bus.DefaultConfig())
+	tb.ClientNIC = device.New(tb.Eng, tb.Client, tb.ClientBus, device.XScaleNIC("client-nic"))
+	tb.ClientGPU = device.New(tb.Eng, tb.Client, tb.ClientBus, device.Config{
+		Name:      "client-gpu",
+		Class:     device.Class{ID: 0x0003, Name: "Display Device", Bus: "pci"},
+		CPUFreqHz: 450e6, LocalMemBytes: 16 << 20,
+		TimerJitter: 10 * sim.Microsecond,
+		PowerIdleW:  5, PowerBusyW: 25,
+	})
+	tb.ClientDisk = device.New(tb.Eng, tb.Client, tb.ClientBus, device.Config{
+		Name:      "client-disk",
+		Class:     device.Class{ID: 0x0002, Name: "Storage Device", Bus: "pci"},
+		CPUFreqHz: 400e6, LocalMemBytes: 4 << 20,
+		TimerJitter: 25 * sim.Microsecond,
+		PowerIdleW:  0.3, PowerBusyW: 0.8,
+	})
+	tb.ClientStation = tb.Net.Attach("client")
+	tb.ClientDiskStation = tb.Net.Attach("client-disk")
+	tb.ClientDepot = depot.New()
+	tb.ClientRT = core.New(tb.Eng, tb.Client, tb.ClientBus, tb.ClientDepot, core.Config{})
+	tb.ClientRT.RegisterDevice(tb.ClientNIC)
+	tb.ClientRT.RegisterDevice(tb.ClientGPU)
+	tb.ClientRT.RegisterDevice(tb.ClientDisk)
+	tb.Client.StartIdleLoad(hostos.DefaultIdleLoad())
+
+	return tb
+}
+
+// ArrivalRecorder captures packet arrival times at the client NIC, before
+// any client-side processing — the paper measures "packet jitter ... at the
+// client machine".
+type ArrivalRecorder struct {
+	Times []sim.Time
+}
+
+// Gaps returns inter-arrival times in milliseconds.
+func (a *ArrivalRecorder) Gaps() []float64 {
+	if len(a.Times) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(a.Times)-1)
+	for i := 1; i < len(a.Times); i++ {
+		out = append(out, (a.Times[i] - a.Times[i-1]).Milliseconds())
+	}
+	return out
+}
+
+func (tb *Testbed) String() string {
+	return fmt.Sprintf("testbed(seed=%d, nas=%d files)", tb.Eng.Seed(), len(tb.NASStore.Paths()))
+}

@@ -8,16 +8,15 @@ package hydra_test
 import (
 	"testing"
 
-	"hydra/internal/bus"
 	"hydra/internal/channel"
 	"hydra/internal/device"
 	"hydra/internal/experiments"
-	"hydra/internal/hostos"
 	"hydra/internal/ilp"
 	"hydra/internal/mpeg"
 	"hydra/internal/netmodel"
 	"hydra/internal/objfile"
 	"hydra/internal/sim"
+	"hydra/internal/testbed"
 	"hydra/internal/tivopc"
 )
 
@@ -239,10 +238,18 @@ func BenchmarkLoaderHostVsDevice(b *testing.B) {
 // --- Framework microbenchmarks ---
 
 func BenchmarkChannelMessageHostToDevice(b *testing.B) {
-	eng := sim.NewEngine(1)
-	host := hostos.New(eng, "host", hostos.PentiumIV())
-	bsys := bus.New(eng, bus.DefaultConfig())
-	nic := device.New(eng, host, bsys, device.XScaleNIC("nic0"))
+	sys, err := testbed.New(1, testbed.Spec{
+		Name: "bench-1nic",
+		Hosts: []testbed.HostSpec{{
+			Name:    "host",
+			Devices: []device.Config{device.XScaleNIC("nic0")},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, nic := sys.Eng, sys.Device("nic0")
+	host, bsys := sys.Host("host").Machine, sys.Host("host").Bus
 	app := channel.HostEndpoint(host, "app")
 	ch, err := channel.New(eng, bsys, channel.DefaultConfig(), app)
 	if err != nil {

@@ -2,68 +2,242 @@
 // evaluation plus the repository's ablations, printing each next to the
 // published numbers. This is the EXPERIMENTS.md generator.
 //
+// With -json it instead emits a machine-readable report — per-scenario
+// headline metrics plus wall-clock — so successive runs can be archived
+// (BENCH_*.json) and compared to track the perf trajectory.
+//
+// The -sweep scenario replays the Table 2 jitter measurement across N
+// seeds twice: serially, then fanned out over the testbed.Sweep worker
+// pool. Per-seed results are bit-identical; only the wall clock differs.
+//
 // Usage:
 //
-//	hydra-bench [-quick] [-seed N]
+//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"hydra/internal/experiments"
 	"hydra/internal/sim"
+	"hydra/internal/tivopc"
 )
+
+type scenarioResult struct {
+	Name    string             `json:"name"`
+	WallMS  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Seed       int64            `json:"seed"`
+	SimSeconds float64          `json:"sim_seconds"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Scenarios  []scenarioResult `json:"scenarios"`
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "short runs (20 s simulated instead of 120 s)")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	sweepN := flag.Int("sweep", 8, "jitter-sweep replicas (0 disables the sweep scenario)")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	duration := experiments.DefaultDuration
 	if *quick {
 		duration = experiments.QuickDuration
 	}
-	fmt.Printf("HYDRA evaluation reproduction — seed %d, %v simulated per scenario\n\n",
-		*seed, duration)
+	rep := &report{Seed: *seed, SimSeconds: duration.Float64Seconds(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	verbose := !*jsonOut
 
-	fmt.Println(experiments.RunFigure1().Render())
+	if verbose {
+		fmt.Printf("HYDRA evaluation reproduction — seed %d, %v simulated per scenario\n\n",
+			*seed, duration)
+	}
 
-	jit, err := experiments.RunTable2Figure9(*seed, duration)
+	timed := func(name string, run func() (map[string]float64, string, error)) {
+		start := time.Now()
+		metrics, rendered, err := run()
+		check(err)
+		rep.Scenarios = append(rep.Scenarios, scenarioResult{
+			Name:    name,
+			WallMS:  float64(time.Since(start).Microseconds()) / 1000,
+			Metrics: metrics,
+		})
+		if verbose && rendered != "" {
+			fmt.Println(rendered)
+		}
+	}
+
+	timed("figure1", func() (map[string]float64, string, error) {
+		f := experiments.RunFigure1()
+		return map[string]float64{
+			"tx_points": float64(len(f.TX)),
+			"rx_points": float64(len(f.RX)),
+		}, f.Render(), nil
+	})
+
+	timed("table2-figure9", func() (map[string]float64, string, error) {
+		jit, err := experiments.RunTable2Figure9(*seed, duration)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := experiments.CheckJitterShape(jit); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range jit.Rows {
+			m[slug(row.Scenario)+"_median_ms"] = row.Measured.Median
+			m[slug(row.Scenario)+"_stddev_ms"] = row.Measured.StdDev
+		}
+		return m, jit.RenderTable2() + "\n" + jit.RenderFigure9(), nil
+	})
+
+	timed("table3-figure10", func() (map[string]float64, string, error) {
+		load, err := experiments.RunTable3Figure10(*seed, duration)
+		if err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range load.Rows {
+			m[slug(row.Scenario)+"_cpu_pct"] = row.CPU.Mean
+			m[slug(row.Scenario)+"_l2_slowdown"] = row.L2Slowdown
+		}
+		return m, load.RenderTable3() + "\n" + load.RenderFigure10(), nil
+	})
+
+	timed("table4-client", func() (map[string]float64, string, error) {
+		cli, err := experiments.RunTable4(*seed, duration)
+		if err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range cli.Rows {
+			m[slug(row.Scenario)+"_cpu_pct"] = row.CPU.Mean
+			m[slug(row.Scenario)+"_l2_miss_delta"] = row.MissDelta
+		}
+		return m, cli.RenderTable4() + "\n" + cli.RenderClientL2(), nil
+	})
+
+	timed("x2-layout", func() (map[string]float64, string, error) {
+		lay, err := experiments.RunLayoutAblation(60, *seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return map[string]float64{
+			"greedy_gap_frac": lay.MeanGapFrac,
+			"ilp_nodes":       lay.MeanILPNodes,
+		}, lay.Render(), nil
+	})
+
+	timed("x3-channel", func() (map[string]float64, string, error) {
+		ch, err := experiments.RunChannelAblation(8192, 256, *seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return map[string]float64{
+			"staged_vs_zerocopy": float64(ch.StagedTime) / float64(ch.ZeroCopyTime),
+		}, ch.Render(), nil
+	})
+
+	timed("x4-loader", func() (map[string]float64, string, error) {
+		ld, err := experiments.RunLoaderAblation(32<<10, *seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return map[string]float64{
+			"devlink_vs_hostlink": float64(ld.DeviceLink) / float64(ld.HostLink),
+		}, ld.Render(), nil
+	})
+
+	timed("x5-energy", func() (map[string]float64, string, error) {
+		en, err := experiments.RunEnergy(*seed, duration)
+		if err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range en.Rows {
+			m[slug(row.Scenario)+"_host_joules"] = row.HostJoules
+		}
+		return m, en.Render(), nil
+	})
+
+	if *sweepN > 0 {
+		runSweep(rep, *seed, *sweepN, *workers, duration, verbose)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
+	}
+}
+
+// runSweep measures the multi-seed Table 2 jitter scenario twice — serial
+// loop, then worker pool — verifying the pooled statistics match exactly
+// and recording both wall clocks.
+func runSweep(rep *report, baseSeed int64, replicas, workers int, duration sim.Time, verbose bool) {
+	seeds := make([]int64, replicas)
+	for i := range seeds {
+		seeds[i] = baseSeed + int64(i)
+	}
+
+	start := time.Now()
+	serial, err := experiments.RunJitterSweep(tivopc.SimpleServer, seeds, duration, 1)
 	check(err)
-	fmt.Println(jit.RenderTable2())
-	check(experiments.CheckJitterShape(jit))
-	fmt.Println(jit.RenderFigure9())
+	serialMS := float64(time.Since(start).Microseconds()) / 1000
 
-	load, err := experiments.RunTable3Figure10(*seed, duration)
+	start = time.Now()
+	parallel, err := experiments.RunJitterSweep(tivopc.SimpleServer, seeds, duration, workers)
 	check(err)
-	fmt.Println(load.RenderTable3())
-	fmt.Println(load.RenderFigure10())
+	parallelMS := float64(time.Since(start).Microseconds()) / 1000
 
-	cli, err := experiments.RunTable4(*seed, duration)
-	check(err)
-	fmt.Println(cli.RenderTable4())
-	fmt.Println(cli.RenderClientL2())
+	if serial.Pooled != parallel.Pooled {
+		check(fmt.Errorf("sweep determinism violated: serial %+v != parallel %+v",
+			serial.Pooled, parallel.Pooled))
+	}
 
-	lay, err := experiments.RunLayoutAblation(60, *seed)
-	check(err)
-	fmt.Println(lay.Render())
+	speedup := serialMS / parallelMS
+	rep.Scenarios = append(rep.Scenarios, scenarioResult{
+		Name:   "table2-jitter-sweep",
+		WallMS: serialMS + parallelMS,
+		Metrics: map[string]float64{
+			"replicas":         float64(replicas),
+			"workers":          float64(parallel.Workers),
+			"serial_ms":        serialMS,
+			"parallel_ms":      parallelMS,
+			"speedup":          speedup,
+			"pooled_median_ms": parallel.Pooled.Median,
+			"pooled_stddev_ms": parallel.Pooled.StdDev,
+		},
+	})
+	if verbose {
+		fmt.Println(parallel.Render())
+		fmt.Printf("sweep wall-clock: serial %.0f ms, parallel %.0f ms (%.2fx, %d workers) — pooled stats identical\n",
+			serialMS, parallelMS, speedup, parallel.Workers)
+	}
+}
 
-	ch, err := experiments.RunChannelAblation(8192, 256, *seed)
-	check(err)
-	fmt.Println(ch.Render())
-
-	ld, err := experiments.RunLoaderAblation(32<<10, *seed)
-	check(err)
-	fmt.Println(ld.Render())
-
-	en, err := experiments.RunEnergy(*seed, duration)
-	check(err)
-	fmt.Println(en.Render())
-
-	_ = sim.Second
+func slug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+'a'-'A')
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == '-':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
 }
 
 func check(err error) {

@@ -61,18 +61,34 @@ func main() {
 }
 
 func run(offloaded bool) (sim.Time, int) {
-	eng := hydra.NewEngine(7)
-	host := hydra.NewHost(eng, "host", hydra.PentiumIV())
-	b := hydra.NewBus(eng, hydra.DefaultBusConfig())
-	nic := hydra.NewDevice(eng, host, b, hydra.XScaleNIC("nic0"))
-	net := netsim.New(eng, netsim.GigabitSwitched())
-	src := net.Attach("src")
-	dst := net.Attach("dst")
+	// One declarative topology for both variants: a host with a
+	// programmable NIC, and two free-standing traffic stations. Only the
+	// offloaded variant gives the host a HYDRA runtime.
+	var rtCfg *hydra.RuntimeConfig
+	if offloaded {
+		rtCfg = &hydra.RuntimeConfig{}
+	}
+	sys, err := hydra.NewTestbed(7, hydra.TestbedSpec{
+		Name:     "packetfilter",
+		Net:      &hydra.NetSpec{Config: netsim.GigabitSwitched()},
+		Stations: []string{"src", "dst"},
+		Hosts: []hydra.HostSpec{{
+			Name:    "host",
+			Devices: []hydra.DeviceConfig{hydra.XScaleNIC("nic0")},
+			Runtime: rtCfg,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, nic := sys.Eng, sys.Device("nic0")
+	host := sys.Host("host").Machine
+	src, dst := sys.Station("src"), sys.Station("dst")
 
 	passed := 0
 	var oc *filterOffcode
 	if offloaded {
-		dep := hydra.NewDepot()
+		dep := sys.Host("host").Depot
 		dep.PutFile("/net/filter.odf", []byte(filterODF))
 		if err := dep.RegisterObject(hydra.SynthesizeObject("net.Filter", 4242, 2048,
 			[]string{"hydra.Heap.Alloc"})); err != nil {
@@ -80,9 +96,7 @@ func run(offloaded bool) (sim.Time, int) {
 		}
 		oc = &filterOffcode{}
 		dep.RegisterFactory(4242, func() any { return oc })
-		rt := hydra.NewRuntime(eng, host, b, dep, hydra.RuntimeConfig{})
-		rt.RegisterDevice(nic)
-		rt.Deploy("/net/filter.odf", func(h *hydra.Handle, err error) {
+		sys.Host("host").Runtime.Deploy("/net/filter.odf", func(h *hydra.Handle, err error) {
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -73,14 +73,24 @@ const checksumODF = `<offcode>
 </offcode>`
 
 func main() {
-	// Build the machine: host + programmable NIC on a PCI bus.
-	eng := hydra.NewEngine(1)
-	host := hydra.NewHost(eng, "host", hydra.PentiumIV())
-	b := hydra.NewBus(eng, hydra.DefaultBusConfig())
-	nic := hydra.NewDevice(eng, host, b, hydra.XScaleNIC("nic0"))
+	// Declare the machine — host + programmable NIC on a PCI bus + HYDRA
+	// runtime — and build it in one step.
+	sys, err := hydra.NewTestbed(1, hydra.TestbedSpec{
+		Name: "quickstart",
+		Hosts: []hydra.HostSpec{{
+			Name:    "host",
+			Devices: []hydra.DeviceConfig{hydra.XScaleNIC("nic0")},
+			Runtime: &hydra.RuntimeConfig{},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, nic := sys.Eng, sys.Device("nic0")
+	b := sys.Host("host").Bus
 
 	// Stock the depot: ODF + interface + binary + behaviour factory.
-	dep := hydra.NewDepot()
+	dep := sys.Host("host").Depot
 	dep.PutFile("/offcodes/checksum.odf", []byte(checksumODF))
 	dep.PutFile("/offcodes/checksum.idl", []byte(checksumIDL))
 	obj := hydra.SynthesizeObject("hydra.net.utils.Checksum", 6060843, 4096,
@@ -94,8 +104,7 @@ func main() {
 	}
 
 	// "Get our runtime and create the Offcode" (Figure 3).
-	rt := hydra.NewRuntime(eng, host, b, dep, hydra.RuntimeConfig{})
-	rt.RegisterDevice(nic)
+	rt := sys.Host("host").Runtime
 
 	rt.Deploy("/offcodes/checksum.odf", func(h *hydra.Handle, err error) {
 		if err != nil {

@@ -71,17 +71,28 @@ func main() {
 		total += len(d)
 	}
 
+	// One declarative topology serves both variants: a host with a smart
+	// disk; the offloaded variant adds a HYDRA runtime.
+	smartDiskSpec := func(rt *hydra.RuntimeConfig) hydra.TestbedSpec {
+		disk := hydra.SmartDiskDevice("disk0")
+		disk.LocalMemBytes = 8 << 20 // room for the document set
+		return hydra.TestbedSpec{
+			Name: "storageindex",
+			Hosts: []hydra.HostSpec{{
+				Name:    "host",
+				Devices: []hydra.DeviceConfig{disk},
+				Runtime: rt,
+			}},
+		}
+	}
+
 	// --- Offloaded: Index Offcode on the smart disk ---
-	eng := hydra.NewEngine(3)
-	host := hydra.NewHost(eng, "host", hydra.PentiumIV())
-	b := hydra.NewBus(eng, hydra.DefaultBusConfig())
-	disk := hydra.NewDevice(eng, host, b, hydra.DeviceConfig{
-		Name:      "disk0",
-		Class:     hydra.DeviceClass{ID: 0x0002, Name: "Storage Device", Bus: "pci"},
-		CPUFreqHz: 400e6, LocalMemBytes: 8 << 20,
-		PowerIdleW: 0.3, PowerBusyW: 0.8,
-	})
-	dep := hydra.NewDepot()
+	sys, err := hydra.NewTestbed(3, smartDiskSpec(&hydra.RuntimeConfig{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, host, b := sys.Eng, sys.Host("host").Machine, sys.Host("host").Bus
+	dep := sys.Host("host").Depot
 	dep.PutFile("/fs/index.odf", []byte(indexODF))
 	if err := dep.RegisterObject(hydra.SynthesizeObject("fs.Index", 8080, 8192,
 		[]string{"hydra.Heap.Alloc"})); err != nil {
@@ -89,9 +100,7 @@ func main() {
 	}
 	oc := &indexOffcode{docs: docs, term: term}
 	dep.RegisterFactory(8080, func() any { return oc })
-	rt := hydra.NewRuntime(eng, host, b, dep, hydra.RuntimeConfig{})
-	rt.RegisterDevice(disk)
-	rt.Deploy("/fs/index.odf", func(h *hydra.Handle, err error) {
+	sys.Host("host").Runtime.Deploy("/fs/index.odf", func(h *hydra.Handle, err error) {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -102,14 +111,12 @@ func main() {
 	offloadBusBytes := b.Total().Bytes
 
 	// --- Host baseline: pull every document across the bus and scan ---
-	eng2 := hydra.NewEngine(3)
-	host2 := hydra.NewHost(eng2, "host", hydra.PentiumIV())
-	b2 := hydra.NewBus(eng2, hydra.DefaultBusConfig())
-	disk2 := hydra.NewDevice(eng2, host2, b2, hydra.DeviceConfig{
-		Name:      "disk0",
-		Class:     hydra.DeviceClass{ID: 0x0002, Name: "Storage Device", Bus: "pci"},
-		CPUFreqHz: 400e6, LocalMemBytes: 8 << 20,
-	})
+	sys2, err := hydra.NewTestbed(3, smartDiskSpec(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng2, host2 := sys2.Eng, sys2.Host("host").Machine
+	b2, disk2 := sys2.Host("host").Bus, sys2.Device("disk0")
 	task := host2.NewTask("grep")
 	buf := host2.Alloc(1 << 20)
 	hits := 0

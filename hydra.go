@@ -5,18 +5,23 @@
 // Programmable Devices", ASPLOS 2008.
 //
 // The package re-exports the supported API surface from the internal
-// packages. A typical OA-application:
+// packages. A typical OA-application declares its machine as a testbed
+// spec and builds it in one step:
 //
-//	eng := hydra.NewEngine(1)
-//	host := hydra.NewHost(eng, "host", hydra.PentiumIV())
-//	b := hydra.NewBus(eng, hydra.DefaultBusConfig())
-//	nic := hydra.NewDevice(eng, host, b, hydra.XScaleNIC("nic0"))
-//	dep := hydra.NewDepot()
-//	rt := hydra.NewRuntime(eng, host, b, dep, hydra.RuntimeConfig{})
-//	rt.RegisterDevice(nic)
-//	// stock the depot with ODFs, objects and factories, then:
+//	sys, err := hydra.NewTestbed(1, hydra.TestbedSpec{
+//		Hosts: []hydra.HostSpec{{
+//			Name:    "host",
+//			Devices: []hydra.DeviceConfig{hydra.XScaleNIC("nic0")},
+//			Runtime: &hydra.RuntimeConfig{},
+//		}},
+//	})
+//	rt := sys.Host("host").Runtime
+//	// stock sys.Host("host").Depot with ODFs, objects and factories, then:
 //	rt.Deploy("/offcodes/checksum.odf", func(h *hydra.Handle, err error) { ... })
-//	eng.Run(hydra.Seconds(1))
+//	sys.Eng.Run(hydra.Seconds(1))
+//
+// Scenario fleets run through hydra.Sweep: one engine per replica on a
+// worker pool, bit-identical to a serial loop.
 //
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package hydra
@@ -33,6 +38,7 @@ import (
 	"hydra/internal/objfile"
 	"hydra/internal/odf"
 	"hydra/internal/sim"
+	"hydra/internal/testbed"
 )
 
 // Simulation substrate.
@@ -93,8 +99,46 @@ type (
 	Placement = layout.Placement
 )
 
+// Declarative testbed layer: topologies as data, scenarios as a fleet.
+type (
+	// TestbedSpec declares a whole topology — hosts, devices, buses,
+	// runtimes, NAS appliances, network — as data for BuildTestbed.
+	TestbedSpec = testbed.Spec
+	// HostSpec declares one host inside a TestbedSpec.
+	HostSpec = testbed.HostSpec
+	// NetSpec declares the inter-host network.
+	NetSpec = testbed.NetSpec
+	// NASSpec declares a network-attached storage appliance.
+	NASSpec = testbed.NASSpec
+	// FileSpec is one file pre-loaded onto a NAS.
+	FileSpec = testbed.FileSpec
+	// TestbedSystem is a built TestbedSpec, addressable by declared names.
+	TestbedSystem = testbed.System
+	// HostSystem is one built host inside a TestbedSystem.
+	HostSystem = testbed.HostSystem
+	// SweepConfig sizes a parallel scenario sweep.
+	SweepConfig = testbed.SweepConfig
+	// Replica identifies one run of a sweep (index + seed).
+	Replica = testbed.Replica
+)
+
+// Sweep runs one scenario replica per seed on a worker pool, each replica
+// on its own engine; results come back in replica order and are
+// bit-identical to a serial loop. See testbed.Sweep.
+func Sweep[T any](cfg SweepConfig, run func(Replica) (T, error)) ([]T, error) {
+	return testbed.Sweep(cfg, run)
+}
+
 // Constructors and helpers.
 var (
+	// BuildTestbed instantiates a TestbedSpec on an engine.
+	BuildTestbed = testbed.Build
+	// NewTestbed creates an engine from seed and builds a TestbedSpec on it.
+	NewTestbed = testbed.New
+	// GPUDevice is a programmable display-adapter profile (§6.3 client).
+	GPUDevice = device.GPU
+	// SmartDiskDevice is a programmable storage-controller profile (§6.1).
+	SmartDiskDevice = device.SmartDisk
 	// NewEngine creates a simulation engine with the given seed.
 	NewEngine = sim.NewEngine
 	// NewHost creates a host machine.

@@ -83,6 +83,35 @@ func XScaleNIC(name string) Config {
 	}
 }
 
+// GPU is a programmable display adapter profile like the §6.3 client's:
+// 450 MHz core, 16 MB local framebuffer memory, tight hardware timers.
+func GPU(name string) Config {
+	return Config{
+		Name:          name,
+		Class:         Class{ID: 0x0003, Name: "Display Device", Bus: "pci"},
+		CPUFreqHz:     450e6,
+		LocalMemBytes: 16 << 20,
+		TimerJitter:   10 * sim.Microsecond,
+		PowerIdleW:    5,
+		PowerBusyW:    25,
+	}
+}
+
+// SmartDisk is a programmable storage-controller profile (the paper's
+// "Smart Disk", §6.1): a modest embedded core whose firmware can speak
+// whole protocols such as NFS.
+func SmartDisk(name string) Config {
+	return Config{
+		Name:          name,
+		Class:         Class{ID: 0x0002, Name: "Storage Device", Bus: "pci"},
+		CPUFreqHz:     400e6,
+		LocalMemBytes: 4 << 20,
+		TimerJitter:   25 * sim.Microsecond,
+		PowerIdleW:    0.3,
+		PowerBusyW:    0.8,
+	}
+}
+
 // Device is one programmable peripheral attached to a host.
 type Device struct {
 	cfg  Config

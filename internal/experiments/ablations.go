@@ -5,19 +5,31 @@ import (
 	"math/rand"
 	"strings"
 
-	"hydra/internal/bus"
 	"hydra/internal/channel"
 	"hydra/internal/core"
-	"hydra/internal/depot"
 	"hydra/internal/device"
 	"hydra/internal/guid"
-	"hydra/internal/hostos"
 	"hydra/internal/layout"
 	"hydra/internal/objfile"
 	"hydra/internal/odf"
 	"hydra/internal/sim"
 	"hydra/internal/stats"
+	"hydra/internal/testbed"
 )
+
+// oneNICSpec is the single-host micro-testbed the X3/X4 ablations run on:
+// a PentiumIV host with one programmable NIC, plus a runtime when rt is
+// non-nil.
+func oneNICSpec(rt *core.Config) testbed.Spec {
+	return testbed.Spec{
+		Name: "ablation-1nic",
+		Hosts: []testbed.HostSpec{{
+			Name:    "host",
+			Devices: []device.Config{device.XScaleNIC("nic0")},
+			Runtime: rt,
+		}},
+	}
+}
 
 // --- X2: greedy vs ILP layout resolution (§5) ---
 
@@ -122,16 +134,19 @@ type ChannelAblation struct {
 // RunChannelAblation streams messages host→NIC under both policies.
 func RunChannelAblation(msgBytes, messages int, seed int64) (*ChannelAblation, error) {
 	run := func(zero bool) (sim.Time, uint64, error) {
-		eng := sim.NewEngine(seed)
-		host := hostos.New(eng, "host", hostos.PentiumIV())
-		b := bus.New(eng, bus.DefaultConfig())
-		nic := device.New(eng, host, b, device.XScaleNIC("nic0"))
+		sys, err := testbed.New(seed, oneNICSpec(nil))
+		if err != nil {
+			return 0, 0, err
+		}
+		eng := sys.Eng
+		host := sys.Host("host").Machine
+		nic := sys.Device("nic0")
 		cfg := channel.DefaultConfig()
 		cfg.ZeroCopyRead = zero
 		cfg.ZeroCopyWrite = zero
 		cfg.MaxMessage = msgBytes
 		app := channel.HostEndpoint(host, "app")
-		ch, err := channel.New(eng, b, cfg, app)
+		ch, err := channel.New(eng, sys.Host("host").Bus, cfg, app)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -191,13 +206,14 @@ type LoaderAblation struct {
 // RunLoaderAblation deploys the same Offcode under both loaders.
 func RunLoaderAblation(objectBytes int, seed int64) (*LoaderAblation, error) {
 	run := func(kind core.LoaderKind) (sim.Time, int, int, error) {
-		eng := sim.NewEngine(seed)
-		host := hostos.New(eng, "host", hostos.PentiumIV())
-		b := bus.New(eng, bus.DefaultConfig())
-		nic := device.New(eng, host, b, device.XScaleNIC("nic0"))
-		dep := depot.New()
-		rt := core.New(eng, host, b, dep, core.Config{Loader: kind})
-		rt.RegisterDevice(nic)
+		sys, err := testbed.New(seed, oneNICSpec(&core.Config{Loader: kind}))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		eng := sys.Eng
+		nic := sys.Device("nic0")
+		h := sys.Host("host")
+		dep, rt := h.Depot, h.Runtime
 		dep.PutFile("/oc.odf", []byte(`<offcode>
   <package><bindname>bench.oc</bindname><GUID>77</GUID></package>
   <targets><device-class><name>Network Device</name></device-class></targets>

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"hydra/internal/device"
 	"hydra/internal/sim"
+	"hydra/internal/testbed"
 	"hydra/internal/tivopc"
 )
 
@@ -49,37 +51,61 @@ func RunEnergy(seed int64, duration sim.Time) (*EnergyResults, error) {
 	power := PentiumIVPower()
 	out := &EnergyResults{Duration: duration}
 
-	measure := func(kind ServerKind) (hostBusyFrac float64, deviceBusy sim.Time, err error) {
+	type energyRun struct {
+		hostBusyFrac float64
+		deviceBusy   sim.Time
+	}
+	measure := func(kind ServerKind, seed int64) (energyRun, error) {
 		tb := tivopc.NewTestbed(seed, duration)
 		if _, err := tivopc.StartClient(tb, tivopc.IdleClient); err != nil {
-			return 0, 0, err
+			return energyRun{}, err
 		}
 		if kind != 0 {
 			if _, err := tivopc.StartServer(tb, kind, duration); err != nil {
-				return 0, 0, err
+				return energyRun{}, err
 			}
 		}
 		tb.Eng.Run(duration)
-		return float64(tb.Server.BusyTime()) / float64(duration), tb.ServerNIC.BusyTime(), nil
+		return energyRun{
+			hostBusyFrac: float64(tb.Server.BusyTime()) / float64(duration),
+			deviceBusy:   tb.ServerNIC.BusyTime(),
+		}, nil
 	}
 
-	idleFrac, idleDev, err := measure(0)
-	if err != nil {
-		return nil, err
-	}
-	secs := duration.Float64Seconds()
-	for _, spec := range []struct {
+	specs := []struct {
 		kind ServerKind
 		name string
 	}{
+		{0, "Idle"},
 		{tivopc.SimpleServer, "Simple Server"},
 		{tivopc.SendfileServer, "Sendfile Server"},
 		{tivopc.OffloadedServer, "Offloaded Server"},
-	} {
-		frac, dev, err := measure(spec.kind)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: energy %s: %w", spec.name, err)
+	}
+	runs, err := testbed.Sweep(testbed.SweepConfig{Seeds: sameSeed(seed, len(specs))},
+		func(r testbed.Replica) (energyRun, error) {
+			return measure(specs[r.Index].kind, r.Seed)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: energy: %w", err)
+	}
+
+	idleFrac, idleDev := runs[0].hostBusyFrac, runs[0].deviceBusy
+	secs := duration.Float64Seconds()
+	// The device power ratings come from the topology actually measured:
+	// the server NIC declared by the §6.4 spec.
+	var nicCfg device.Config
+	for _, h := range tivopc.SystemSpec(sim.Second).Hosts {
+		for _, d := range h.Devices {
+			if d.Name == "server-nic" {
+				nicCfg = d
+			}
 		}
+	}
+	if nicCfg.Name == "" {
+		return nil, fmt.Errorf("experiments: energy: no server-nic in tivopc.SystemSpec")
+	}
+	for i, spec := range specs[1:] {
+		frac, dev := runs[i+1].hostBusyFrac, runs[i+1].deviceBusy
 		deltaFrac := frac - idleFrac
 		if deltaFrac < 0 {
 			deltaFrac = 0
@@ -88,7 +114,6 @@ func RunEnergy(seed int64, duration sim.Time) (*EnergyResults, error) {
 		if deltaDev < 0 {
 			deltaDev = 0
 		}
-		nicCfg := tivopc.NewTestbed(seed, sim.Second).ServerNIC.Config()
 		out.Rows = append(out.Rows, EnergyRow{
 			Scenario:     spec.name,
 			HostJoules:   deltaFrac * secs * (power.BusyWatts - power.IdleWatts),

@@ -12,8 +12,20 @@ import (
 	"hydra/internal/netmodel"
 	"hydra/internal/sim"
 	"hydra/internal/stats"
+	"hydra/internal/testbed"
 	"hydra/internal/tivopc"
 )
+
+// sameSeed builds a testbed.SweepConfig seed list that runs n scenario
+// variants at one shared seed: the tables compare variants, not seeds, so
+// every row must see the same world.
+func sameSeed(seed int64, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = seed
+	}
+	return seeds
+}
 
 // DefaultDuration mirrors a paper-scale run at reduced length: the paper
 // samples every 5 s for 10 minutes; 120 s keeps the same 5 s windows.
@@ -80,16 +92,19 @@ func RunTable2Figure9(seed int64, duration sim.Time) (*JitterResults, error) {
 		{tivopc.SendfileServer, "Sendfile Server", 6.00, 5.99, 0.4720},
 		{tivopc.OffloadedServer, "Offloaded Server", 5.00, 5.00, 0.0369},
 	}
+	runs, err := testbed.Sweep(testbed.SweepConfig{Seeds: sameSeed(seed, len(specs))},
+		func(r testbed.Replica) (*tivopc.ServerRun, error) {
+			return tivopc.RunServerScenario(specs[r.Index].kind, r.Seed, duration)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table 2: %w", err)
+	}
 	out := &JitterResults{}
-	for _, s := range specs {
-		run, err := tivopc.RunServerScenario(s.kind, seed, duration)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", s.name, err)
-		}
+	for i, s := range specs {
 		out.Rows = append(out.Rows, JitterRow{
-			Scenario: s.name, Measured: run.JitterSummary(),
+			Scenario: s.name, Measured: runs[i].JitterSummary(),
 			PaperMedian: s.median, PaperMean: s.mean, PaperStdDev: s.stdev,
-			Gaps: run.JitterGaps,
+			Gaps: runs[i].JitterGaps,
 		})
 	}
 	return out, nil
@@ -159,16 +174,19 @@ func RunTable3Figure10(seed int64, duration sim.Time) (*ServerLoadResults, error
 		{tivopc.SendfileServer, "Sendfile Server", [3]float64{5.90, 6.20, 0.08}},
 		{tivopc.OffloadedServer, "Offloaded Server", [3]float64{2.90, 2.86, 0.09}},
 	}
+	runs, err := testbed.Sweep(testbed.SweepConfig{Seeds: sameSeed(seed, len(specs))},
+		func(r testbed.Replica) (*tivopc.ServerRun, error) {
+			return tivopc.RunServerScenario(specs[r.Index].kind, r.Seed, duration)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table 3: %w", err)
+	}
 	out := &ServerLoadResults{}
 	var idleMiss float64
-	for _, s := range specs {
-		run, err := tivopc.RunServerScenario(s.kind, seed, duration)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", s.name, err)
-		}
+	for i, s := range specs {
 		row := ServerLoadRow{
-			Scenario: s.name, CPU: run.CPUSummary(), PaperCPU: s.paper,
-			MissRate: run.MeanMissRate(),
+			Scenario: s.name, CPU: runs[i].CPUSummary(), PaperCPU: s.paper,
+			MissRate: runs[i].MeanMissRate(),
 		}
 		if s.kind == 0 {
 			idleMiss = row.MissRate
@@ -241,17 +259,20 @@ func RunTable4(seed int64, duration sim.Time) (*ClientResults, error) {
 		{tivopc.UserspaceClient, "User-space Client", [3]float64{7.30, 6.90, 0.32}},
 		{tivopc.OffloadedClient, "Offloaded Client", [3]float64{2.90, 2.86, 0.09}},
 	}
+	runs, err := testbed.Sweep(testbed.SweepConfig{Seeds: sameSeed(seed, len(specs))},
+		func(r testbed.Replica) (*tivopc.ClientRun, error) {
+			return tivopc.RunClientScenario(specs[r.Index].kind, r.Seed, duration)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table 4: %w", err)
+	}
 	out := &ClientResults{}
 	var idleMisses uint64
-	for _, s := range specs {
-		run, err := tivopc.RunClientScenario(s.kind, seed, duration)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", s.name, err)
-		}
+	for i, s := range specs {
 		row := ClientRow{
-			Scenario: s.name, CPU: run.CPUSummary(), PaperCPU: s.paper,
-			L2Misses: run.L2Misses, Frames: run.FramesDecoded,
-			Recorded: run.Recorded, Verified: run.Verified,
+			Scenario: s.name, CPU: runs[i].CPUSummary(), PaperCPU: s.paper,
+			L2Misses: runs[i].L2Misses, Frames: runs[i].FramesDecoded,
+			Recorded: runs[i].Recorded, Verified: runs[i].Verified,
 		}
 		if s.kind == tivopc.IdleClient {
 			idleMisses = row.L2Misses

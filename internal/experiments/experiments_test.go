@@ -3,7 +3,40 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"hydra/internal/sim"
+	"hydra/internal/tivopc"
 )
+
+// A worker-pool sweep must report numbers bit-identical to the serial
+// loop: parallelism may only change the wall clock.
+func TestJitterSweepMatchesSerial(t *testing.T) {
+	seeds := []int64{DefaultSeed, DefaultSeed + 1, DefaultSeed + 2}
+	const dur = 10 * sim.Second
+
+	serial, err := RunJitterSweep(tivopc.SimpleServer, seeds, dur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunJitterSweep(tivopc.SimpleServer, seeds, dur, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if serial.PerSeed[i] != parallel.PerSeed[i] {
+			t.Fatalf("seed %d: serial %+v != parallel %+v", seeds[i], serial.PerSeed[i], parallel.PerSeed[i])
+		}
+	}
+	if serial.Pooled != parallel.Pooled {
+		t.Fatalf("pooled stats differ: %+v vs %+v", serial.Pooled, parallel.Pooled)
+	}
+	if serial.Pooled.N == 0 {
+		t.Fatal("sweep produced no samples")
+	}
+	if !strings.Contains(parallel.Render(), "pooled") {
+		t.Fatal("render broken")
+	}
+}
 
 func TestFigure1(t *testing.T) {
 	f := RunFigure1()

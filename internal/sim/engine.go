@@ -52,14 +52,26 @@ type Event struct {
 	fn       func()
 	canceled bool
 	index    int // heap index, -1 once popped
+	owner    *Engine
 }
 
 // At reports the virtual time the event will fire.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Cancel prevents the event from firing and removes it from the pending
+// set immediately, so heavily canceled workloads (timeouts, retries) do
+// not accumulate dead events until their fire time. Canceling an
+// already-fired or already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.owner != nil && e.index >= 0 {
+		heap.Remove(&e.owner.queue, e.index)
+	}
+	e.fn = nil // release the closure eagerly
+}
 
 // Canceled reports whether Cancel was called.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -149,7 +161,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, owner: e}
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -201,8 +213,8 @@ func (e *Engine) RunAll() Time {
 	return e.now
 }
 
-// Pending reports the number of events waiting (including canceled ones not
-// yet collected).
+// Pending reports the number of live events waiting. Canceled events are
+// removed from the pending set eagerly and never counted.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
 // Ticker invokes fn every period until the returned stop function is called.

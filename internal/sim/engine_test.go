@@ -49,6 +49,55 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+func TestEngineCancelRemovesEagerly(t *testing.T) {
+	e := NewEngine(1)
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		i := i
+		evs = append(evs, e.Schedule(Time(1000+i), func() { _ = i }))
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", e.Pending())
+	}
+	// Cancel from the middle, the ends, and twice over: the pending set
+	// must shrink immediately, not at fire time.
+	for i, ev := range evs {
+		if i%2 == 0 {
+			ev.Cancel()
+			ev.Cancel() // double-cancel is a no-op
+		}
+	}
+	if e.Pending() != 50 {
+		t.Fatalf("Pending = %d after canceling half, want 50", e.Pending())
+	}
+	fired := 0
+	e.Schedule(5000, func() {})
+	for e.Step() {
+		fired++
+	}
+	if fired != 51 {
+		t.Fatalf("fired %d events, want the 50 live ones + sentinel", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+func TestEngineCancelDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	var later *Event
+	canceledFired := false
+	e.Schedule(10, func() { later.Cancel() })
+	later = e.Schedule(20, func() { canceledFired = true })
+	e.RunAll()
+	if canceledFired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+	if !later.Canceled() {
+		t.Fatal("Canceled() = false")
+	}
+}
+
 func TestEngineRunHorizon(t *testing.T) {
 	e := NewEngine(1)
 	var fired []Time

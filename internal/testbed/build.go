@@ -1,0 +1,211 @@
+package testbed
+
+import (
+	"fmt"
+
+	"hydra/internal/bus"
+	"hydra/internal/core"
+	"hydra/internal/depot"
+	"hydra/internal/device"
+	"hydra/internal/hostos"
+	"hydra/internal/netsim"
+	"hydra/internal/nfs"
+	"hydra/internal/sim"
+)
+
+// System is a built Spec: every component instantiated on one engine,
+// addressable by the names the Spec declared.
+type System struct {
+	Spec Spec
+	Eng  *sim.Engine
+	// Net is the inter-host network (nil when the Spec declared none).
+	Net *netsim.Network
+
+	hosts    map[string]*HostSystem
+	hostList []*HostSystem
+	devices  map[string]*device.Device
+	stations map[string]*netsim.Station
+	nas      map[string]*NASSystem
+}
+
+// HostSystem is one built host with everything attached to it.
+type HostSystem struct {
+	Spec    HostSpec
+	Machine *hostos.Machine
+	Bus     *bus.Bus
+	// Devices holds the host's peripherals in declaration order.
+	Devices []*device.Device
+	// Stations holds the host's network endpoints in declaration order.
+	Stations []*netsim.Station
+	// Depot and Runtime are non-nil iff the HostSpec declared a runtime.
+	Depot   *depot.Depot
+	Runtime *core.Runtime
+	// IdleLoad is the running background load, if the HostSpec started one.
+	IdleLoad *hostos.IdleLoad
+}
+
+// Device returns the host device with the given name, or nil.
+func (h *HostSystem) Device(name string) *device.Device {
+	for _, d := range h.Devices {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// NASSystem is one built storage appliance.
+type NASSystem struct {
+	Spec    NASSpec
+	Station *netsim.Station
+	Store   *nfs.Store
+	Server  *nfs.Server
+}
+
+// New creates a fresh engine from seed and builds spec on it.
+func New(seed int64, spec Spec) (*System, error) {
+	return Build(sim.NewEngine(seed), spec)
+}
+
+// Build instantiates spec on eng. Components are constructed strictly in
+// declaration order — network, free stations, NAS appliances, then each
+// host (machine, bus, devices, stations, depot+runtime, idle load) — so a
+// given Spec always yields the same event sequence numbering and therefore
+// bit-identical simulations for a fixed seed.
+func Build(eng *sim.Engine, spec Spec) (*System, error) {
+	sys := &System{
+		Spec:     spec,
+		Eng:      eng,
+		hosts:    make(map[string]*HostSystem),
+		devices:  make(map[string]*device.Device),
+		stations: make(map[string]*netsim.Station),
+		nas:      make(map[string]*NASSystem),
+	}
+
+	needsNet := len(spec.Stations) > 0 || len(spec.NAS) > 0
+	for _, h := range spec.Hosts {
+		needsNet = needsNet || len(h.Stations) > 0
+	}
+	if spec.Net != nil {
+		sys.Net = netsim.New(eng, spec.Net.Config)
+	} else if needsNet {
+		return nil, fmt.Errorf("testbed: %s declares stations or NAS but no Net", label(spec))
+	}
+
+	for _, name := range spec.Stations {
+		if _, err := sys.attach(name); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, n := range spec.NAS {
+		st, err := sys.attach(n.Station)
+		if err != nil {
+			return nil, err
+		}
+		store := nfs.NewStore()
+		for _, f := range n.Files {
+			store.Put(f.Path, f.Data)
+		}
+		cfg := n.Config
+		if cfg == (nfs.ServerConfig{}) {
+			cfg = nfs.DefaultServerConfig()
+		}
+		sys.nas[n.Station] = &NASSystem{
+			Spec:    n,
+			Station: st,
+			Store:   store,
+			Server:  nfs.NewServer(eng, st, store, cfg),
+		}
+	}
+
+	for _, h := range spec.Hosts {
+		if h.Name == "" {
+			return nil, fmt.Errorf("testbed: %s has an unnamed host", label(spec))
+		}
+		if _, dup := sys.hosts[h.Name]; dup {
+			return nil, fmt.Errorf("testbed: duplicate host %q", h.Name)
+		}
+		cpu := h.CPU
+		if cpu.CPUFreqHz == 0 {
+			cpu = hostos.PentiumIV()
+		}
+		busCfg := h.Bus
+		if busCfg == (bus.Config{}) {
+			busCfg = bus.DefaultConfig()
+		}
+		hs := &HostSystem{Spec: h}
+		hs.Machine = hostos.New(eng, h.Name, cpu)
+		hs.Bus = bus.New(eng, busCfg)
+		for _, dc := range h.Devices {
+			if dc.Name == "" {
+				return nil, fmt.Errorf("testbed: host %q has an unnamed device", h.Name)
+			}
+			if _, dup := sys.devices[dc.Name]; dup {
+				return nil, fmt.Errorf("testbed: duplicate device %q", dc.Name)
+			}
+			d := device.New(eng, hs.Machine, hs.Bus, dc)
+			hs.Devices = append(hs.Devices, d)
+			sys.devices[dc.Name] = d
+		}
+		for _, name := range h.Stations {
+			st, err := sys.attach(name)
+			if err != nil {
+				return nil, err
+			}
+			hs.Stations = append(hs.Stations, st)
+		}
+		if h.Runtime != nil {
+			hs.Depot = depot.New()
+			hs.Runtime = core.New(eng, hs.Machine, hs.Bus, hs.Depot, *h.Runtime)
+			for _, d := range hs.Devices {
+				hs.Runtime.RegisterDevice(d)
+			}
+		}
+		if h.IdleLoad != nil {
+			hs.IdleLoad = hs.Machine.StartIdleLoad(*h.IdleLoad)
+		}
+		sys.hosts[h.Name] = hs
+		sys.hostList = append(sys.hostList, hs)
+	}
+	return sys, nil
+}
+
+func (sys *System) attach(name string) (*netsim.Station, error) {
+	if name == "" {
+		return nil, fmt.Errorf("testbed: %s declares an unnamed station", label(sys.Spec))
+	}
+	if _, dup := sys.stations[name]; dup {
+		return nil, fmt.Errorf("testbed: duplicate station %q", name)
+	}
+	st := sys.Net.Attach(name)
+	sys.stations[name] = st
+	return st, nil
+}
+
+func label(spec Spec) string {
+	if spec.Name != "" {
+		return fmt.Sprintf("spec %q", spec.Name)
+	}
+	return "spec"
+}
+
+// Host returns the built host with the given name, or nil.
+func (sys *System) Host(name string) *HostSystem { return sys.hosts[name] }
+
+// Hosts returns every built host in declaration order.
+func (sys *System) Hosts() []*HostSystem { return sys.hostList }
+
+// Device returns the device with the given name from any host, or nil.
+func (sys *System) Device(name string) *device.Device { return sys.devices[name] }
+
+// Station returns the network station with the given name, or nil.
+func (sys *System) Station(name string) *netsim.Station { return sys.stations[name] }
+
+// NAS returns the storage appliance at the given station name, or nil.
+func (sys *System) NAS(station string) *NASSystem { return sys.nas[station] }
+
+func (sys *System) String() string {
+	return fmt.Sprintf("testbed(%s: %d hosts, %d devices, %d NAS, seed=%d)",
+		label(sys.Spec), len(sys.hostList), len(sys.devices), len(sys.nas), sys.Eng.Seed())
+}

@@ -1,0 +1,119 @@
+// Package testbed turns declarative hardware-topology descriptions into
+// running simulations.
+//
+// Every experiment, example and benchmark in this repository used to
+// hand-wire the same construction sequence — engine → host → bus → devices
+// → depot → runtime → network — with small variations. A Spec captures that
+// fabric as data: hosts with CPU profiles, per-host buses, heterogeneous
+// programmable devices (NIC / GPU / smart-disk classes), Offcode runtimes,
+// NAS appliances and the switched network joining them. Build instantiates
+// a Spec on a simulation engine, and Sweep runs many replicas of a scenario
+// on independent engines across a worker pool, one engine per replica, so
+// per-seed results are bit-identical to serial runs while the wall clock
+// scales with the core count.
+//
+// A four-host fabric with a NIC, GPU and disk per host is a few lines:
+//
+//	spec := testbed.Spec{Net: &testbed.NetSpec{Config: netsim.GigabitSwitched()}}
+//	for i := 0; i < 4; i++ {
+//		name := fmt.Sprintf("h%d", i)
+//		spec.Hosts = append(spec.Hosts, testbed.HostSpec{
+//			Name: name,
+//			Devices: []device.Config{
+//				device.XScaleNIC(name + "-nic"),
+//				device.GPU(name + "-gpu"),
+//				device.SmartDisk(name + "-disk"),
+//			},
+//			Stations: []string{name},
+//			Runtime:  &core.Config{},
+//		})
+//	}
+//	sys, err := testbed.New(seed, spec)
+//
+// See DESIGN.md for where this layer sits in the architecture.
+package testbed
+
+import (
+	"hydra/internal/bus"
+	"hydra/internal/core"
+	"hydra/internal/device"
+	"hydra/internal/hostos"
+	"hydra/internal/netsim"
+	"hydra/internal/nfs"
+)
+
+// Spec is a complete testbed topology. The zero value is an empty world;
+// Build fills in defaults for anything left unset (PentiumIV CPUs, PCI
+// buses). Construction order follows declaration order, which keeps event
+// sequence numbers — and therefore same-instant event ordering — stable
+// for a given Spec.
+type Spec struct {
+	// Name labels the topology in diagnostics.
+	Name string
+	// Net, when set, creates the switched network joining the hosts.
+	// Required if any NAS, host Stations, or free Stations are declared.
+	Net *NetSpec
+	// Stations are free-standing network endpoints owned by no host
+	// (traffic sources/sinks in microbenchmarks).
+	Stations []string
+	// NAS declares network-attached storage appliances, built before hosts
+	// so servers are listening by the time any host logic runs.
+	NAS []NASSpec
+	// Hosts are the machines of the testbed, built in order.
+	Hosts []HostSpec
+}
+
+// NetSpec configures the inter-host network.
+type NetSpec struct {
+	Config netsim.Config
+}
+
+// FileSpec is one file pre-loaded onto a NAS. A slice (not a map) so that
+// load order is deterministic.
+type FileSpec struct {
+	Path string
+	Data []byte
+}
+
+// NASSpec declares one network-attached storage appliance: a station on
+// the network running an NFS server over an in-memory store.
+type NASSpec struct {
+	// Station names the NAS on the network (NFS clients dial this name).
+	Station string
+	// Config is the NFS service model; zero value → nfs.DefaultServerConfig.
+	Config nfs.ServerConfig
+	// Files are pre-loaded into the store in order.
+	Files []FileSpec
+}
+
+// HostSpec declares one host machine: CPU profile, I/O bus, attached
+// programmable devices, network stations, and (optionally) a HYDRA runtime
+// with its Offcode depot.
+type HostSpec struct {
+	// Name identifies the host; must be unique and non-empty.
+	Name string
+	// CPU is the host profile; zero value → hostos.PentiumIV().
+	CPU hostos.Config
+	// Bus is the host I/O interconnect; zero value → bus.DefaultConfig().
+	Bus bus.Config
+	// Devices are programmable peripherals attached to the host bus, built
+	// in order. Device names must be unique across the whole Spec.
+	Devices []device.Config
+	// Stations are network endpoints owned by this host (a host may own
+	// several: e.g. its NIC's link and a smart disk's private link).
+	Stations []string
+	// Runtime, when non-nil, gives the host a HYDRA runtime plus an empty
+	// Offcode depot, with every declared device registered as an offload
+	// target. nil hosts get neither (pure traffic generators / baselines).
+	Runtime *core.Config
+	// IdleLoad, when non-nil, starts background daemons after construction
+	// (the paper's "idle system" baseline).
+	IdleLoad *hostos.IdleLoadConfig
+}
+
+// DefaultIdleLoad returns a pointer to hostos.DefaultIdleLoad, the common
+// HostSpec.IdleLoad value.
+func DefaultIdleLoad() *hostos.IdleLoadConfig {
+	cfg := hostos.DefaultIdleLoad()
+	return &cfg
+}

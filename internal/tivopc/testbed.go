@@ -18,6 +18,7 @@ package tivopc
 
 import (
 	"fmt"
+	"sync"
 
 	"hydra/internal/bus"
 	"hydra/internal/core"
@@ -28,6 +29,7 @@ import (
 	"hydra/internal/netsim"
 	"hydra/internal/nfs"
 	"hydra/internal/sim"
+	"hydra/internal/testbed"
 )
 
 // Stream parameters from §6.4.
@@ -43,11 +45,17 @@ const (
 func MovieConfig() mpeg.Config { return mpeg.Config{W: 320, H: 240, GOPSize: 12, BGap: 2} }
 
 // movieCache holds the generated bitstream, grown on demand: encoding is
-// deterministic, so longer prefixes are stable across runs.
-var movieCache []byte
+// deterministic, so longer prefixes are stable across runs. movieMu makes
+// the cache safe for concurrent scenario replicas (testbed.Sweep).
+var (
+	movieMu    sync.Mutex
+	movieCache []byte
+)
 
 // Movie returns at least minBytes of encoded stream.
 func Movie(minBytes int) []byte {
+	movieMu.Lock()
+	defer movieMu.Unlock()
 	cfg := MovieConfig()
 	for len(movieCache) < minBytes {
 		enc, err := mpeg.NewEncoder(cfg)
@@ -115,59 +123,80 @@ func NASConfig() nfs.ServerConfig {
 	}
 }
 
+// SystemSpec is the declarative §6.4 topology: two Pentium IV hosts on a
+// gigabit switch, a NAS appliance, a programmable NIC on the Video Server,
+// and a NIC + GPU + Smart Disk (a second programmable controller whose
+// firmware speaks NFS, §6.1) on the Video Client.
+func SystemSpec(runFor sim.Time) testbed.Spec {
+	needBytes := int(int64(runFor/ChunkPeriod))*ChunkBytes + 64*ChunkBytes
+	return testbed.Spec{
+		Name: "tivopc-§6.4",
+		Net:  &testbed.NetSpec{Config: netsim.GigabitSwitched()},
+		NAS: []testbed.NASSpec{{
+			Station: "nas",
+			Config:  NASConfig(),
+			Files:   []testbed.FileSpec{{Path: MoviePath, Data: Movie(needBytes)}},
+		}},
+		Hosts: []testbed.HostSpec{
+			{
+				Name:     "server",
+				Devices:  []device.Config{device.XScaleNIC("server-nic")},
+				Stations: []string{"server"},
+				Runtime:  &core.Config{},
+				IdleLoad: testbed.DefaultIdleLoad(),
+			},
+			{
+				Name: "client",
+				Devices: []device.Config{
+					device.XScaleNIC("client-nic"),
+					device.GPU("client-gpu"),
+					device.SmartDisk("client-disk"),
+				},
+				Stations: []string{"client", "client-disk"},
+				Runtime:  &core.Config{},
+				IdleLoad: testbed.DefaultIdleLoad(),
+			},
+		},
+	}
+}
+
 // NewTestbed builds the full §6.4 environment with the movie loaded on the
 // NAS sized for runFor of streaming.
 func NewTestbed(seed int64, runFor sim.Time) *Testbed {
-	tb := &Testbed{}
-	tb.Eng = sim.NewEngine(seed)
-	tb.Net = netsim.New(tb.Eng, netsim.GigabitSwitched())
+	sys, err := testbed.New(seed, SystemSpec(runFor))
+	if err != nil {
+		panic("tivopc: " + err.Error()) // static spec; cannot fail
+	}
+	return fromSystem(sys)
+}
 
-	// NAS.
-	nasStation := tb.Net.Attach("nas")
-	tb.NASStore = nfs.NewStore()
-	needBytes := int(int64(runFor/ChunkPeriod))*ChunkBytes + 64*ChunkBytes
-	tb.NASStore.Put(MoviePath, Movie(needBytes))
-	tb.NASServer = nfs.NewServer(tb.Eng, nasStation, tb.NASStore, NASConfig())
-
-	// Video Server host.
-	tb.Server = hostos.New(tb.Eng, "server", hostos.PentiumIV())
-	tb.ServerBus = bus.New(tb.Eng, bus.DefaultConfig())
-	tb.ServerNIC = device.New(tb.Eng, tb.Server, tb.ServerBus, device.XScaleNIC("server-nic"))
-	tb.ServerStation = tb.Net.Attach("server")
-	tb.ServerDepot = depot.New()
-	tb.ServerRT = core.New(tb.Eng, tb.Server, tb.ServerBus, tb.ServerDepot, core.Config{})
-	tb.ServerRT.RegisterDevice(tb.ServerNIC)
-	tb.Server.StartIdleLoad(hostos.DefaultIdleLoad())
-
-	// Video Client host: programmable NIC, GPU, Smart Disk (a second
-	// programmable NIC whose firmware speaks NFS, §6.1).
-	tb.Client = hostos.New(tb.Eng, "client", hostos.PentiumIV())
-	tb.ClientBus = bus.New(tb.Eng, bus.DefaultConfig())
-	tb.ClientNIC = device.New(tb.Eng, tb.Client, tb.ClientBus, device.XScaleNIC("client-nic"))
-	tb.ClientGPU = device.New(tb.Eng, tb.Client, tb.ClientBus, device.Config{
-		Name:      "client-gpu",
-		Class:     device.Class{ID: 0x0003, Name: "Display Device", Bus: "pci"},
-		CPUFreqHz: 450e6, LocalMemBytes: 16 << 20,
-		TimerJitter: 10 * sim.Microsecond,
-		PowerIdleW:  5, PowerBusyW: 25,
-	})
-	tb.ClientDisk = device.New(tb.Eng, tb.Client, tb.ClientBus, device.Config{
-		Name:      "client-disk",
-		Class:     device.Class{ID: 0x0002, Name: "Storage Device", Bus: "pci"},
-		CPUFreqHz: 400e6, LocalMemBytes: 4 << 20,
-		TimerJitter: 25 * sim.Microsecond,
-		PowerIdleW:  0.3, PowerBusyW: 0.8,
-	})
-	tb.ClientStation = tb.Net.Attach("client")
-	tb.ClientDiskStation = tb.Net.Attach("client-disk")
-	tb.ClientDepot = depot.New()
-	tb.ClientRT = core.New(tb.Eng, tb.Client, tb.ClientBus, tb.ClientDepot, core.Config{})
-	tb.ClientRT.RegisterDevice(tb.ClientNIC)
-	tb.ClientRT.RegisterDevice(tb.ClientGPU)
-	tb.ClientRT.RegisterDevice(tb.ClientDisk)
-	tb.Client.StartIdleLoad(hostos.DefaultIdleLoad())
-
-	return tb
+// fromSystem adapts a built SystemSpec topology to the flat Testbed handle
+// the scenario drivers use.
+func fromSystem(sys *testbed.System) *Testbed {
+	nas := sys.NAS("nas")
+	server := sys.Host("server")
+	client := sys.Host("client")
+	return &Testbed{
+		Eng:               sys.Eng,
+		Net:               sys.Net,
+		NASStore:          nas.Store,
+		NASServer:         nas.Server,
+		Server:            server.Machine,
+		ServerBus:         server.Bus,
+		ServerNIC:         server.Device("server-nic"),
+		ServerStation:     sys.Station("server"),
+		ServerDepot:       server.Depot,
+		ServerRT:          server.Runtime,
+		Client:            client.Machine,
+		ClientBus:         client.Bus,
+		ClientNIC:         client.Device("client-nic"),
+		ClientGPU:         client.Device("client-gpu"),
+		ClientDisk:        client.Device("client-disk"),
+		ClientStation:     sys.Station("client"),
+		ClientDiskStation: sys.Station("client-disk"),
+		ClientDepot:       client.Depot,
+		ClientRT:          client.Runtime,
+	}
 }
 
 // ArrivalRecorder captures packet arrival times at the client NIC, before

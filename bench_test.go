@@ -235,6 +235,26 @@ func BenchmarkLoaderHostVsDevice(b *testing.B) {
 	}
 }
 
+// --- X6: NIC failover ---
+
+func BenchmarkX6Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFailover(experiments.DefaultSeed, experiments.QuickDuration)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				if row.Scenario == "Single NIC Crash" {
+					b.ReportMetric(row.DetectMS, "detect-ms")
+					b.ReportMetric(row.MigrateMS, "migrate-ms")
+					b.ReportMetric(row.Availability, "availability")
+				}
+			}
+		}
+	}
+}
+
 // --- Framework microbenchmarks ---
 
 func BenchmarkChannelMessageHostToDevice(b *testing.B) {

@@ -10,9 +10,12 @@
 // seeds twice: serially, then fanned out over the testbed.Sweep worker
 // pool. Per-seed results are bit-identical; only the wall clock differs.
 //
+// The -scenario flag runs a single experiment by name (e.g. -scenario
+// x6-failover), which makes iterating on one table cheap.
+//
 // Usage:
 //
-//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N]
+//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario name]
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	sweepN := flag.Int("sweep", 8, "jitter-sweep replicas (0 disables the sweep scenario)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	scenario := flag.String("scenario", "", "run only the named scenario (e.g. x6-failover)")
 	flag.Parse()
 
 	duration := experiments.DefaultDuration
@@ -62,7 +66,12 @@ func main() {
 			*seed, duration)
 	}
 
+	ran := 0
 	timed := func(name string, run func() (map[string]float64, string, error)) {
+		if *scenario != "" && name != *scenario {
+			return
+		}
+		ran++
 		start := time.Now()
 		metrics, rendered, err := run()
 		check(err)
@@ -169,8 +178,34 @@ func main() {
 		return m, en.Render(), nil
 	})
 
-	if *sweepN > 0 {
+	timed("x6-failover", func() (map[string]float64, string, error) {
+		fo, err := experiments.RunFailover(*seed, duration)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := experiments.CheckFailoverShape(fo); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range fo.Rows {
+			m[slug(row.Scenario)+"_availability"] = row.Availability
+			m[slug(row.Scenario)+"_detect_ms"] = row.DetectMS
+			m[slug(row.Scenario)+"_migrate_ms"] = row.MigrateMS
+			m[slug(row.Scenario)+"_post_stddev_ms"] = row.PostJitter.StdDev
+		}
+		return m, fo.Render(), nil
+	})
+
+	if *scenario == "table2-jitter-sweep" && *sweepN <= 0 {
+		check(fmt.Errorf("scenario table2-jitter-sweep is disabled by -sweep 0"))
+	}
+	if *sweepN > 0 && (*scenario == "" || *scenario == "table2-jitter-sweep") {
+		ran++
 		runSweep(rep, *seed, *sweepN, *workers, duration, verbose)
+	}
+
+	if *scenario != "" && ran == 0 {
+		check(fmt.Errorf("unknown scenario %q", *scenario))
 	}
 
 	if *jsonOut {

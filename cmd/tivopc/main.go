@@ -1,10 +1,15 @@
 // Command tivopc runs one TiVoPC configuration (§6.4) and reports jitter,
 // CPU utilization and pipeline integrity.
 //
+// With -crash-nic N the offloaded server runs the NIC-failover scenario
+// instead: the primary programmable NIC crashes N seconds in, the runtime
+// health monitor detects it, and the Offcodes migrate to the standby NIC
+// with the stream resuming from its checkpoint.
+//
 // Usage:
 //
 //	tivopc [-server simple|sendfile|offloaded] [-client idle|user|offloaded]
-//	       [-seconds N] [-seed N]
+//	       [-seconds N] [-seed N] [-crash-nic N]
 package main
 
 import (
@@ -21,7 +26,13 @@ func main() {
 	clientFlag := flag.String("client", "idle", "client variant: idle|user|offloaded")
 	seconds := flag.Int("seconds", 30, "simulated seconds")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	crashNIC := flag.Int("crash-nic", 0, "crash the server NIC after N seconds (failover scenario; 0 = off)")
 	flag.Parse()
+
+	if *crashNIC > 0 {
+		runFailover(*seed, sim.Time(*seconds)*sim.Second, sim.Time(*crashNIC)*sim.Second)
+		return
+	}
 
 	serverKind := map[string]tivopc.ServerKind{
 		"simple": tivopc.SimpleServer, "sendfile": tivopc.SendfileServer,
@@ -72,6 +83,33 @@ func main() {
 			client.Decoder.Frames, client.Display.VerifiedOK)
 		fmt.Printf("  recorded to NAS: %d bytes\n", client.DiskFile.Written)
 	}
+}
+
+// runFailover streams the offloaded server while the primary NIC crashes
+// mid-run, then reports the recovery the runtime performed.
+func runFailover(seed int64, duration, crashAt sim.Time) {
+	if crashAt >= duration {
+		log.Fatalf("-crash-nic %v is past the end of the %v run", crashAt, duration)
+	}
+	run, err := tivopc.RunFailoverScenario(seed, duration, tivopc.CrashPrimaryNIC(crashAt, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TiVoPC NIC failover: offloaded server, %v simulated, %s crashes at %v\n",
+		duration, tivopc.PrimaryNIC, crashAt)
+	for _, rec := range run.Recoveries {
+		fmt.Printf("  %s failed: detected at %v, migrated %d offcodes in %v\n",
+			rec.Device, rec.DetectedAt, len(rec.Stopped), rec.MigrationTime())
+	}
+	for _, lat := range run.DetectionLatencies() {
+		fmt.Printf("  detection latency: %v\n", lat)
+	}
+	fmt.Printf("  chunks delivered: %d of %d expected (%.1f%% availability), ~%d lost in the outage\n",
+		run.Delivered(), run.Expected, 100*run.Availability(), run.ChunksLost())
+	post := run.PostRecoveryJitter()
+	fmt.Printf("  post-recovery jitter: median %.2f ms, stddev %.4f ms (n=%d)\n",
+		post.Median, post.StdDev, post.N)
+	fmt.Printf("  stream resumed on: %s\n", run.FinalNIC)
 }
 
 func summarize(xs []float64) string {

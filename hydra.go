@@ -32,6 +32,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/depot"
 	"hydra/internal/device"
+	"hydra/internal/faults"
 	"hydra/internal/guid"
 	"hydra/internal/hostos"
 	"hydra/internal/layout"
@@ -122,6 +123,49 @@ type (
 	Replica = testbed.Replica
 )
 
+// Fault injection and self-healing: declarative fault schedules replayed by
+// a seeded injector, a runtime health monitor, and Offcode migration.
+type (
+	// FaultSchedule is a replayable fault script (testbed Spec.Faults).
+	FaultSchedule = faults.Schedule
+	// FaultEntry is one declarative fault in a FaultSchedule.
+	FaultEntry = faults.Entry
+	// FaultKind selects a fault type (DeviceCrash, BusDegrade, ...).
+	FaultKind = faults.Kind
+	// FaultInjector replays fault schedules on an engine.
+	FaultInjector = faults.Injector
+	// FaultRecord is one fault the injector actually applied.
+	FaultRecord = faults.Record
+	// MonitorConfig tunes the runtime health monitor (HostSpec.Monitor).
+	MonitorConfig = core.MonitorConfig
+	// HealthMonitor is a running runtime health monitor.
+	HealthMonitor = core.Monitor
+	// Recovery records one device failure the runtime healed from.
+	Recovery = core.Recovery
+	// Checkpointer lets an Offcode carry state across a migration.
+	Checkpointer = core.Checkpointer
+	// DeviceHealth is a device's failure state.
+	DeviceHealth = device.Health
+)
+
+// Fault kinds and device health states.
+const (
+	// DeviceCrash kills a device (local memory lost; optional auto-restart).
+	DeviceCrash = faults.DeviceCrash
+	// DeviceHang wedges firmware (memory survives a restart).
+	DeviceHang = faults.DeviceHang
+	// DeviceRestart restores a failed device.
+	DeviceRestart = faults.DeviceRestart
+	// BusDegrade multiplies a host bus's wire time.
+	BusDegrade = faults.BusDegrade
+	// BusOutage blocks a host bus for a duration.
+	BusOutage = faults.BusOutage
+	// HealthOK / HealthHung / HealthCrashed are device failure states.
+	HealthOK      = device.HealthOK
+	HealthHung    = device.HealthHung
+	HealthCrashed = device.HealthCrashed
+)
+
 // Sweep runs one scenario replica per seed on a worker pool, each replica
 // on its own engine; results come back in replica order and are
 // bit-identical to a serial loop. See testbed.Sweep.
@@ -157,6 +201,8 @@ var (
 	NewDepot = depot.New
 	// NewRuntime creates the HYDRA runtime on a host.
 	NewRuntime = core.New
+	// NewFaultInjector creates a deterministic fault injector on an engine.
+	NewFaultInjector = faults.NewInjector
 	// DefaultChannelConfig is the Figure 3 channel: reliable, zero-copy,
 	// sequential unicast.
 	DefaultChannelConfig = channel.DefaultConfig

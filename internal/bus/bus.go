@@ -63,6 +63,12 @@ type Bus struct {
 
 	total   Stats
 	byAgent map[Agent]*Stats
+
+	// Degradation state (driven by internal/faults): slowdown multiplies
+	// every transfer's wire time; outages block the link entirely.
+	slowdown   float64
+	outages    uint64
+	outageTime sim.Time
 }
 
 // New creates a bus on the given engine.
@@ -116,6 +122,9 @@ func (b *Bus) TransferMulti(src Agent, dsts []Agent, size int, done func()) sim.
 
 func (b *Bus) transfer(src Agent, dsts []Agent, size int, done func()) sim.Time {
 	dur := b.TransferTime(size)
+	if b.slowdown > 1 {
+		dur = sim.Time(float64(dur) * b.slowdown)
+	}
 	start := b.eng.Now()
 	if b.busy > start {
 		start = b.busy
@@ -168,6 +177,50 @@ func (b *Bus) Agents() []Agent {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// --- Degradation (driven by internal/faults) ---
+
+// SetSlowdown scales every subsequent transfer's wire time by factor
+// (≥ 1; values below 1 restore full speed). TransferTime still reports the
+// nominal wire time, so cost estimates (channel provider selection) keep
+// reflecting the hardware's rated speed.
+func (b *Bus) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	b.slowdown = factor
+}
+
+// Slowdown reports the active degradation factor (1 = full speed).
+func (b *Bus) Slowdown() float64 {
+	if b.slowdown < 1 {
+		return 1
+	}
+	return b.slowdown
+}
+
+// Outage blocks the interconnect for d: transfers issued during (or queued
+// behind) the outage wait for the link to come back, exactly like a bus
+// segment that stopped arbitrating. Transfers already in flight committed
+// their completion time at issue and finish on schedule.
+func (b *Bus) Outage(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	start := b.eng.Now()
+	if b.busy > start {
+		start = b.busy
+	}
+	b.busy = start + d
+	b.outages++
+	b.outageTime += d
+}
+
+// Outages reports how many outages were injected.
+func (b *Bus) Outages() uint64 { return b.outages }
+
+// OutageTime reports the cumulative injected outage duration.
+func (b *Bus) OutageTime() sim.Time { return b.outageTime }
 
 // Utilization reports the fraction of elapsed virtual time the bus has spent
 // transferring data, over [0, now]. Queued-but-unstarted work counts because

@@ -151,3 +151,46 @@ func TestFIFOProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSlowdownScalesWireTime(t *testing.T) {
+	eng, b := testBus(true)
+	b.SetSlowdown(4)
+	if b.Slowdown() != 4 {
+		t.Fatalf("slowdown = %v", b.Slowdown())
+	}
+	var doneAt sim.Time
+	b.Transfer("nic", MainMemory, 1000, func() { doneAt = eng.Now() })
+	eng.RunAll()
+	if doneAt != 4400 { // 4 × (100 + 1000)
+		t.Fatalf("degraded transfer completed at %v, want 4400", doneAt)
+	}
+	// Nominal estimate is unchanged; restoring goes back to full speed.
+	if got := b.TransferTime(1000); got != 1100 {
+		t.Fatalf("TransferTime = %v, want nominal 1100", got)
+	}
+	b.SetSlowdown(0.5) // clamps to 1
+	var secondAt sim.Time
+	b.Transfer("nic", MainMemory, 1000, func() { secondAt = eng.Now() })
+	eng.RunAll()
+	if secondAt-doneAt != 1100 {
+		t.Fatalf("restored transfer took %v, want 1100", secondAt-doneAt)
+	}
+}
+
+func TestOutageBlocksTransfers(t *testing.T) {
+	eng, b := testBus(true)
+	b.Outage(10_000)
+	var doneAt sim.Time
+	b.Transfer("nic", MainMemory, 1000, func() { doneAt = eng.Now() })
+	eng.RunAll()
+	if doneAt != 11_100 { // waits out the outage, then 1100 of wire time
+		t.Fatalf("transfer completed at %v, want 11100", doneAt)
+	}
+	if b.Outages() != 1 || b.OutageTime() != 10_000 {
+		t.Fatalf("outage accounting = %d, %v", b.Outages(), b.OutageTime())
+	}
+	b.Outage(0) // no-op
+	if b.Outages() != 1 {
+		t.Fatal("zero-length outage counted")
+	}
+}

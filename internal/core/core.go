@@ -60,6 +60,16 @@ type Offcode interface {
 	Stop() error
 }
 
+// Checkpointer is optionally implemented by Offcodes that can carry state
+// across a migration. During failover the runtime calls Checkpoint before
+// stopping the Offcode and Restore on the re-instantiated one, between
+// Initialize and Start, so a migrated service resumes where it left off
+// (e.g. a streaming File Offcode keeps its read offset).
+type Checkpointer interface {
+	Checkpoint() []byte
+	Restore(state []byte) error
+}
+
 // Context is what the runtime hands an Offcode at Initialize.
 type Context struct {
 	Runtime *Runtime
@@ -87,6 +97,7 @@ type Handle struct {
 	oobApp    *channel.Endpoint // application/runtime side
 	oobOC     *channel.Endpoint // Offcode side
 	pseudo    bool
+	seq       uint64 // global instantiation order; failover stops in reverse
 }
 
 // State reports the lifecycle state.
@@ -148,6 +159,25 @@ type Runtime struct {
 	byGUID  map[guid.GUID]*Handle
 	byBind  map[string]*Handle
 	deploys uint64
+	instSeq uint64
+
+	// Self-healing state (see health.go): the deployment roots the runtime
+	// is responsible for re-establishing after a device failure, checkpoints
+	// awaiting restoration into re-instantiated Offcodes, the health
+	// monitor, and the recovery history.
+	roots          []rootRecord
+	pendingRestore map[string][]byte
+	monitor        *Monitor
+	migrating      bool
+	activeRec      *Recovery
+	recoveries     []*Recovery
+}
+
+// rootRecord remembers one successful Deploy so failover can re-establish
+// the same services over the surviving targets.
+type rootRecord struct {
+	path string
+	bind string // the root ODF's bind name
 }
 
 // New creates a runtime on the host. Devices are registered afterwards with
@@ -211,6 +241,54 @@ func (rt *Runtime) RegisterDevice(d *device.Device, providers ...ChannelProvider
 // Devices lists registered devices.
 func (rt *Runtime) Devices() []*device.Device {
 	return append([]*device.Device(nil), rt.devices...)
+}
+
+// availableDevices lists the registered devices currently healthy enough to
+// host Offcodes — the offload targets Deploy and failover solve over.
+func (rt *Runtime) availableDevices() []*device.Device {
+	out := make([]*device.Device, 0, len(rt.devices))
+	for _, d := range rt.devices {
+		if d.Healthy() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// deployedHandles lists the live non-pseudo Offcodes in instantiation
+// order; reversing it gives the dependency-safe stop order (importers were
+// instantiated after their imports).
+func (rt *Runtime) deployedHandles() []*Handle {
+	var out []*Handle
+	for _, h := range rt.byBind {
+		if !h.pseudo {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// recordRoot remembers a successful deployment root (deduplicated by path).
+func (rt *Runtime) recordRoot(path, bind string) {
+	for _, r := range rt.roots {
+		if r.path == path {
+			return
+		}
+	}
+	rt.roots = append(rt.roots, rootRecord{path: path, bind: bind})
+}
+
+// forgetRoot drops root records whose root Offcode was stopped explicitly,
+// so failover does not resurrect a service the application shut down.
+func (rt *Runtime) forgetRoot(bind string) {
+	kept := rt.roots[:0]
+	for _, r := range rt.roots {
+		if r.bind != bind {
+			kept = append(kept, r)
+		}
+	}
+	rt.roots = kept
 }
 
 // ErrNotFound reports a missing Offcode.

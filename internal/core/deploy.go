@@ -72,12 +72,17 @@ func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
 	}
 	if len(odfs) == 0 {
 		// Everything already deployed; return the existing root handle.
+		rt.recordRoot(path, rootODF.BindName)
 		k(rt.byBind[rootODF.BindName], nil)
 		return
 	}
 
-	targets := make([]layout.Target, 0, len(rt.devices))
-	for _, d := range rt.devices {
+	// Solve over the *available* targets only: a crashed or hung device is
+	// not a placement candidate, which is how failover re-layouts route
+	// around dead hardware.
+	avail := rt.availableDevices()
+	targets := make([]layout.Target, 0, len(avail))
+	for _, d := range avail {
 		targets = append(targets, layout.Target{Name: d.Name(), Class: d.Class()})
 	}
 	graph, err := layout.FromODFs(odfs, targets, rt.cfg.Prices)
@@ -90,11 +95,16 @@ func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
 	for _, pin := range pins {
 		peerTarget := 0
 		if d := pin.peer.Device(); d != nil {
-			for i, dev := range rt.devices {
+			for i, dev := range avail {
 				if dev == d {
 					peerTarget = i + 1
 					break
 				}
+			}
+			if peerTarget == 0 {
+				k(nil, fmt.Errorf("core: %s: peer %s is placed on failed device %s",
+					odfs[pin.node].BindName, pin.peer.BindName, d.Name()))
+				return
 			}
 		}
 		node := &graph.Nodes[pin.node]
@@ -155,6 +165,7 @@ func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
 					k(nil, err)
 					return
 				}
+				rt.recordRoot(path, rootODF.BindName)
 				k(rt.byBind[rootODF.BindName], nil)
 			})
 			return
@@ -162,7 +173,7 @@ func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
 		o := odfs[i]
 		var dev = (*deviceRef)(nil)
 		if t := placement[i]; t != 0 {
-			dev = &deviceRef{rt.devices[t-1]}
+			dev = &deviceRef{avail[t-1]}
 		}
 		rt.instantiate(o, dev, func(h *Handle, err error) {
 			if err != nil {
@@ -266,9 +277,11 @@ func (rt *Runtime) instantiate(o *odf.ODF, dev *deviceRef, k func(*Handle, error
 			k(nil, fmt.Errorf("core: factory for %s returned %T, not core.Offcode", o.BindName, behaviourAny))
 			return
 		}
+		rt.instSeq++
 		h := &Handle{
 			BindName: o.BindName, GUID: o.GUID, ODF: o,
 			behaviour: behaviour, imageAddr: addr, imageSize: size,
+			seq: rt.instSeq,
 		}
 		if dev != nil {
 			h.dev = dev.d
@@ -364,6 +377,17 @@ func (rt *Runtime) initialize(handles []*Handle, i int, k func(error)) {
 			k(fmt.Errorf("core: %s.Initialize: %w", h.BindName, err))
 			return
 		}
+		// Migration: re-instantiated Offcodes get their checkpointed state
+		// back before Start, so they resume rather than begin anew.
+		if data, ok := rt.pendingRestore[h.BindName]; ok {
+			delete(rt.pendingRestore, h.BindName)
+			if cp, ok := h.behaviour.(Checkpointer); ok {
+				if err := cp.Restore(data); err != nil {
+					k(fmt.Errorf("core: %s.Restore: %w", h.BindName, err))
+					return
+				}
+			}
+		}
 		h.state = StateInitialized
 		rt.initialize(handles, i+1, k)
 	})
@@ -392,11 +416,20 @@ func (rt *Runtime) start(handles []*Handle, i int, k func(error)) {
 	})
 }
 
-// StopOffcode stops a running Offcode and releases its resources.
+// StopOffcode stops a running Offcode and releases its resources. Stopping
+// a deployment root also forgets it: failover will not resurrect a service
+// the application shut down.
 func (rt *Runtime) StopOffcode(h *Handle) error {
 	if h.pseudo {
 		return fmt.Errorf("core: cannot stop pseudo Offcode %s", h.BindName)
 	}
+	rt.forgetRoot(h.BindName)
+	return rt.stopHandle(h)
+}
+
+// stopHandle is the teardown shared by StopOffcode and failover (which
+// keeps the root records so it can redeploy them).
+func (rt *Runtime) stopHandle(h *Handle) error {
 	err := h.res.Close() // closer transitions state and calls Stop
 	delete(rt.byBind, h.BindName)
 	delete(rt.byGUID, h.GUID)

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/device"
+	"hydra/internal/guid"
+	"hydra/internal/sim"
+)
+
+// This file is the runtime's self-healing path: a heartbeat health monitor
+// over the registered devices, and the Offcode migration that follows a
+// detected failure.
+//
+// Detection: per device, the monitor registers a heartbeat pseudo Offcode
+// (hydra.Health.<device>) whose only job is to answer probes. Every
+// Heartbeat the monitor submits a probe to the device's firmware queue;
+// healthy firmware answers within microseconds, while crashed or hung
+// firmware silently drops it (device.Exec's failure semantics). A device
+// silent for longer than Timeout is declared failed.
+//
+// Recovery: failover checkpoints every Offcode implementing Checkpointer,
+// stops all deployed Offcodes in reverse instantiation order (importers
+// before their imports — the same reverse-dependency discipline
+// resource.Node.Close applies within one Offcode), re-solves the layout
+// over the surviving devices, redeploys every recorded root, and restores
+// the checkpoints between Initialize and Start. The whole sequence runs on
+// the virtual clock, so for a fixed seed and fault schedule a recovery is
+// bit-identical across runs.
+
+// MonitorConfig tunes the runtime health monitor.
+type MonitorConfig struct {
+	// Heartbeat is the probe interval (default 10 ms).
+	Heartbeat sim.Time
+	// Timeout is how long a device may stay silent before it is declared
+	// failed (default 2×Heartbeat).
+	Timeout sim.Time
+	// ProbeCycles is the firmware cost of answering one probe (default 2000).
+	ProbeCycles uint64
+	// OnRecovery, when non-nil, is called after each recovery attempt
+	// completes (successfully or not).
+	OnRecovery func(*Recovery)
+}
+
+func (cfg MonitorConfig) withDefaults() MonitorConfig {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 10 * sim.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * cfg.Heartbeat
+	}
+	if cfg.ProbeCycles == 0 {
+		cfg.ProbeCycles = 2000
+	}
+	return cfg
+}
+
+// Recovery records one device failure handled by the runtime.
+type Recovery struct {
+	// Device is the failed device's name.
+	Device string
+	// DetectedAt is when the monitor declared the device failed.
+	DetectedAt sim.Time
+	// MigrationStart / MigrationEnd bracket the stop → re-layout →
+	// redeploy → restore sequence. MigrationEnd is zero while migration is
+	// still in flight.
+	MigrationStart sim.Time
+	MigrationEnd   sim.Time
+	// Stopped lists the Offcodes stopped, in stop order (reverse
+	// instantiation order).
+	Stopped []string
+	// Restored lists the Offcodes whose state was checkpointed for
+	// restoration into their re-instantiated successors.
+	Restored []string
+	// Err is non-nil when re-deployment failed (e.g. no surviving target
+	// satisfies a placement constraint).
+	Err error
+}
+
+// Complete reports whether the migration finished.
+func (r *Recovery) Complete() bool { return r.MigrationEnd != 0 }
+
+// MigrationTime reports how long the migration took (zero while in flight).
+func (r *Recovery) MigrationTime() sim.Time {
+	if !r.Complete() {
+		return 0
+	}
+	return r.MigrationEnd - r.MigrationStart
+}
+
+// Recoveries returns the runtime's recovery history, in detection order.
+func (rt *Runtime) Recoveries() []*Recovery {
+	return append([]*Recovery(nil), rt.recoveries...)
+}
+
+// Monitor is the runtime health monitor started by StartMonitor.
+type Monitor struct {
+	rt     *Runtime
+	cfg    MonitorConfig
+	ticker *sim.Ticker
+	probes []*deviceProbe
+}
+
+// deviceProbe tracks heartbeat state for one device.
+type deviceProbe struct {
+	dev      *device.Device
+	lastPong sim.Time
+	failed   bool
+}
+
+// Config returns the monitor's effective (defaulted) configuration.
+func (m *Monitor) Config() MonitorConfig { return m.cfg }
+
+// Stop halts probing.
+func (m *Monitor) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+// StartMonitor begins heartbeat monitoring of every registered device and
+// enables automatic failover. Devices must already be registered. Calling
+// it again returns the existing monitor.
+func (rt *Runtime) StartMonitor(cfg MonitorConfig) *Monitor {
+	if rt.monitor != nil {
+		return rt.monitor
+	}
+	m := &Monitor{rt: rt, cfg: cfg.withDefaults()}
+	now := rt.eng.Now()
+	for i, d := range rt.devices {
+		m.probes = append(m.probes, &deviceProbe{dev: d, lastPong: now})
+		// The heartbeat answerer is a runtime-provided pseudo Offcode
+		// living on the device.
+		bind := "hydra.Health." + d.Name()
+		g := guid.IIDHealthMonitor + guid.GUID(i)
+		h := &Handle{
+			BindName: bind, GUID: g, state: StateStarted, pseudo: true,
+			dev: d, res: rt.root.MustChild(bind, nil),
+		}
+		rt.byBind[bind] = h
+		rt.byGUID[g] = h
+	}
+	m.ticker = rt.eng.Tick(m.cfg.Heartbeat, 0, m.tick)
+	rt.monitor = m
+	return m
+}
+
+// tick runs once per heartbeat: it checks silence thresholds, triggers
+// failover for newly failed devices, notices restored devices rejoining,
+// and launches the next round of probes.
+func (m *Monitor) tick() {
+	now := m.rt.eng.Now()
+	for _, p := range m.probes {
+		if p.failed {
+			if p.dev.Healthy() {
+				// The device came back (power-on reset). It rejoins the
+				// target pool; the next re-layout may use it.
+				p.failed = false
+				p.lastPong = now
+			}
+			continue
+		}
+		if now-p.lastPong > m.cfg.Timeout {
+			if m.rt.migrating {
+				// Overlapping failure. A healthy migration settles in far
+				// less simulated time than Timeout (stops are synchronous,
+				// loads take microseconds), so one still in flight after a
+				// whole Timeout is stalled — its redeploy landed on a
+				// device that died mid-load and dropped the continuation.
+				// Abort it (its checkpoints stay pending) and recover over
+				// the currently healthy set; a younger migration instead
+				// gets until the next tick to finish.
+				rec := m.rt.activeRec
+				if rec == nil || now-rec.MigrationStart <= m.cfg.Timeout {
+					continue
+				}
+				m.rt.abortMigration(fmt.Errorf(
+					"core: migration interrupted: device %s failed", p.dev.Name()))
+			}
+			p.failed = true
+			m.rt.failover(p.dev, now, m.cfg.OnRecovery)
+			continue
+		}
+		probe := p
+		probe.dev.Exec(m.cfg.ProbeCycles, func() {
+			probe.lastPong = m.rt.eng.Now()
+		})
+	}
+}
+
+// failover migrates every deployed Offcode off the failed device:
+// checkpoint → stop all (reverse instantiation order) → redeploy each
+// recorded root over the surviving targets → restore checkpoints. done, if
+// non-nil, runs when the recovery attempt settles.
+func (rt *Runtime) failover(failed *device.Device, detected sim.Time, done func(*Recovery)) *Recovery {
+	rec := &Recovery{
+		Device:         failed.Name(),
+		DetectedAt:     detected,
+		MigrationStart: rt.eng.Now(),
+	}
+	rt.recoveries = append(rt.recoveries, rec)
+	rt.migrating = true
+	rt.activeRec = rec
+
+	finish := func(err error) {
+		if rec.Complete() {
+			return // aborted by the monitor; a newer recovery owns the state
+		}
+		if err != nil && rec.Err == nil {
+			rec.Err = err
+		}
+		rec.MigrationEnd = rt.eng.Now()
+		rt.pendingRestore = nil
+		rt.migrating = false
+		rt.activeRec = nil
+		if done != nil {
+			done(rec)
+		}
+	}
+
+	// Snapshot the roots before stopping anything: stopHandle (unlike
+	// StopOffcode) leaves the records in place for redeployment.
+	roots := append([]rootRecord(nil), rt.roots...)
+
+	// Checkpoint whatever can carry state across the migration. Offcodes on
+	// the failed device checkpoint too: their behaviour object is host-side
+	// bookkeeping, and its last coherent state is exactly what a
+	// production runtime would have replicated out before the crash.
+	// Checkpoints left pending by an aborted migration win over fresh ones:
+	// their Offcodes never restarted, so the pending state is the last
+	// coherent snapshot.
+	handles := rt.deployedHandles()
+	states := rt.pendingRestore
+	if states == nil {
+		states = make(map[string][]byte)
+	}
+	for _, h := range handles {
+		if _, carried := states[h.BindName]; carried {
+			rec.Restored = append(rec.Restored, h.BindName)
+			continue
+		}
+		if cp, ok := h.behaviour.(Checkpointer); ok {
+			states[h.BindName] = cp.Checkpoint()
+			rec.Restored = append(rec.Restored, h.BindName)
+		}
+	}
+
+	// Stop survivors and victims alike, importers first.
+	for i := len(handles) - 1; i >= 0; i-- {
+		rec.Stopped = append(rec.Stopped, handles[i].BindName)
+		if err := rt.stopHandle(handles[i]); err != nil && rec.Err == nil {
+			rec.Err = fmt.Errorf("core: failover stop %s: %w", handles[i].BindName, err)
+		}
+	}
+
+	// Redeploy sequentially; Deploy re-solves the layout over the healthy
+	// devices and initialize() feeds the checkpoints back in.
+	rt.pendingRestore = states
+	var redeploy func(i int)
+	redeploy = func(i int) {
+		if i == len(roots) {
+			finish(nil)
+			return
+		}
+		rt.Deploy(roots[i].path, func(_ *Handle, err error) {
+			if err != nil {
+				finish(fmt.Errorf("core: failover redeploy %s: %w", roots[i].path, err))
+				return
+			}
+			redeploy(i + 1)
+		})
+	}
+	redeploy(0)
+	return rec
+}
+
+// abortMigration gives up on a stalled in-flight migration: the recovery is
+// marked failed, but its unrestored checkpoints stay in pendingRestore so
+// the next failover carries the state forward. The stalled Deploy
+// continuation is dead (its callbacks were dropped by the crashed device),
+// so abandoning it leaks nothing.
+func (rt *Runtime) abortMigration(err error) {
+	if rec := rt.activeRec; rec != nil && !rec.Complete() {
+		rec.Err = err
+		rec.MigrationEnd = rt.eng.Now()
+	}
+	rt.migrating = false
+	rt.activeRec = nil
+}

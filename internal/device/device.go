@@ -112,6 +112,35 @@ func SmartDisk(name string) Config {
 	}
 }
 
+// Health describes a device's failure state. Healthy devices execute work;
+// hung firmware silently drops it; crashed devices additionally lose their
+// local memory contents when they come back.
+type Health int
+
+// Health states.
+const (
+	// HealthOK: firmware is running normally.
+	HealthOK Health = iota
+	// HealthHung: the embedded core is wedged — work is dropped, timers do
+	// not fire — but local memory survives a Restore.
+	HealthHung
+	// HealthCrashed: the device is dead; Restore resets it to power-on state
+	// (local memory cleared, every allocation lost).
+	HealthCrashed
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthHung:
+		return "hung"
+	case HealthCrashed:
+		return "crashed"
+	}
+	return "invalid"
+}
+
 // Device is one programmable peripheral attached to a host.
 type Device struct {
 	cfg  Config
@@ -129,6 +158,16 @@ type Device struct {
 	// DMAWritesToHost invalidate host cache lines; reads do not.
 	dmaBytesIn  uint64
 	dmaBytesOut uint64
+
+	// Failure model. epoch increments on every health transition away from
+	// HealthOK, so callbacks armed by dead firmware (in-flight Exec segments,
+	// hardware timers) can recognize they no longer belong to the running
+	// instance and fall silent.
+	health      Health
+	epoch       uint64
+	crashes     uint64
+	hangs       uint64
+	droppedWork uint64
 }
 
 type devSegment struct {
@@ -174,8 +213,14 @@ func (d *Device) CyclesToTime(cycles uint64) sim.Time {
 }
 
 // Exec runs cycles of firmware work on the embedded CPU, serialized with
-// other device work, then calls k.
+// other device work, then calls k. On an unhealthy device the work is
+// dropped silently — k is never invoked — exactly like firmware that has
+// stopped fetching instructions.
 func (d *Device) Exec(cycles uint64, k func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
 	d.queue = append(d.queue, &devSegment{cycles: cycles, k: k})
 	d.pump()
 }
@@ -189,7 +234,11 @@ func (d *Device) pump() {
 	d.busy = true
 	dur := d.CyclesToTime(s.cycles)
 	d.busyTime += dur
+	epoch := d.epoch
 	d.eng.Schedule(dur, func() {
+		if d.epoch != epoch {
+			return // the firmware that issued this work died mid-segment
+		}
 		d.busy = false
 		if s.k != nil {
 			s.k()
@@ -197,6 +246,70 @@ func (d *Device) pump() {
 		d.pump()
 	})
 }
+
+// --- Failure model (driven by internal/faults) ---
+
+// Health reports the device's current failure state.
+func (d *Device) Health() Health { return d.health }
+
+// Healthy reports whether the device is executing work.
+func (d *Device) Healthy() bool { return d.health == HealthOK }
+
+// Crash kills the device: queued and in-flight firmware work vanishes,
+// timers stop, DMA engines halt. Crashing an already-crashed device is a
+// no-op; crashing a hung device upgrades the failure.
+func (d *Device) Crash() {
+	if d.health == HealthCrashed {
+		return
+	}
+	d.health = HealthCrashed
+	d.crashes++
+	d.fail()
+}
+
+// Hang wedges the embedded core: work is dropped exactly as after a crash,
+// but local memory survives a later Restore. Hanging a crashed device is a
+// no-op (it is already worse).
+func (d *Device) Hang() {
+	if d.health != HealthOK {
+		return
+	}
+	d.health = HealthHung
+	d.hangs++
+	d.fail()
+}
+
+func (d *Device) fail() {
+	d.epoch++
+	d.queue = nil
+	d.busy = false
+}
+
+// Restore brings the device back. After a crash this is a power-on reset:
+// local memory is cleared and every allocation is lost (firmware exports
+// live in ROM and survive). After a hang, memory contents are preserved.
+// The runtime must reload and restart any Offcodes that lived here.
+func (d *Device) Restore() {
+	if d.health == HealthOK {
+		return
+	}
+	if d.health == HealthCrashed {
+		for i := range d.mem {
+			d.mem[i] = 0
+		}
+		d.memUsed = 0
+	}
+	d.health = HealthOK
+}
+
+// Crashes reports how many times the device crashed.
+func (d *Device) Crashes() uint64 { return d.crashes }
+
+// Hangs reports how many times the device hung.
+func (d *Device) Hangs() uint64 { return d.hangs }
+
+// DroppedWork reports firmware work requests discarded while unhealthy.
+func (d *Device) DroppedWork() uint64 { return d.droppedWork }
 
 // BusyTime reports accumulated embedded-CPU busy time.
 func (d *Device) BusyTime() sim.Time { return d.busyTime }
@@ -212,29 +325,41 @@ func (d *Device) EnergyJoules() float64 {
 }
 
 // Timer arms a hardware timer that fires after d±jitter, with no tick
-// quantization. This is the device-side counterpart of Task.Sleep.
+// quantization. This is the device-side counterpart of Task.Sleep. The
+// timer belongs to the current firmware instance: if the device fails
+// before the deadline, the callback never runs.
 func (d *Device) Timer(after sim.Time, k func()) {
 	noise := sim.Time(d.rng.NormFloat64() * float64(d.cfg.TimerJitter))
 	t := after + noise
 	if t < 0 {
 		t = 0
 	}
-	d.eng.Schedule(t, k)
+	epoch := d.epoch
+	d.eng.Schedule(t, func() {
+		if d.epoch != epoch || d.health != HealthOK {
+			return
+		}
+		k()
+	})
 }
 
 // PeriodicTimer fires k every period±jitter. Unlike host timer loops the
 // period does not accumulate drift: each deadline is period after the
 // previous deadline, not after the previous firing.
+// Like Timer, the ticker dies with the firmware instance that armed it: a
+// crash or hang permanently silences it (Restore does not revive it — the
+// restarted firmware must arm its own).
 func (d *Device) PeriodicTimer(period sim.Time, k func()) *sim.Ticker {
 	tk := &sim.Ticker{}
 	deadline := d.eng.Now()
+	epoch := d.epoch
 	var arm func()
 	arm = func() {
 		deadline += period
 		noise := sim.Time(d.rng.NormFloat64() * float64(d.cfg.TimerJitter))
 		at := deadline + noise
 		d.eng.At(at, func() {
-			if tk.Stopped() {
+			if tk.Stopped() || d.epoch != epoch {
 				return
 			}
 			k()
@@ -252,6 +377,9 @@ func (d *Device) PeriodicTimer(period sim.Time, k func()) *sim.Ticker {
 func (d *Device) AllocMem(size int) (uint64, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("device %s: alloc of %d bytes", d.cfg.Name, size)
+	}
+	if d.health != HealthOK {
+		return 0, fmt.Errorf("device %s: allocation while %v", d.cfg.Name, d.health)
 	}
 	const align = 16
 	base := (d.memUsed + align - 1) &^ (align - 1)
@@ -303,6 +431,10 @@ func (d *Device) Exports() map[string]uint64 {
 // DMAToHost writes size bytes from the device into host memory at hostAddr:
 // one bus transaction, then host-side cache invalidation of the target lines.
 func (d *Device) DMAToHost(hostAddr uint64, size int, done func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
 	d.dmaBytesIn += uint64(size)
 	d.bsys.Transfer(d.Agent(), bus.MainMemory, size, func() {
 		d.host.DMAWrite(hostAddr, size)
@@ -315,6 +447,10 @@ func (d *Device) DMAToHost(hostAddr uint64, size int, done func()) {
 // DMAFromHost reads size bytes of host memory into the device. Reads do not
 // invalidate host cache lines.
 func (d *Device) DMAFromHost(hostAddr uint64, size int, done func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
 	d.dmaBytesOut += uint64(size)
 	d.bsys.Transfer(bus.MainMemory, d.Agent(), size, func() {
 		if done != nil {
@@ -326,6 +462,10 @@ func (d *Device) DMAFromHost(hostAddr uint64, size int, done func()) {
 // DMAToPeer moves size bytes directly to another device (peer-to-peer bus
 // transaction, no host memory involvement) — the TiVoPC NIC→GPU/disk path.
 func (d *Device) DMAToPeer(peer *Device, size int, done func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
 	d.bsys.Transfer(d.Agent(), peer.Agent(), size, func() {
 		if done != nil {
 			done()
@@ -337,6 +477,10 @@ func (d *Device) DMAToPeer(peer *Device, size int, done func()) {
 // the bus supports it (paper §1 fn.2: "if the bus architecture allows it,
 // this packet could be transferred in a single bus transaction").
 func (d *Device) DMAToPeers(peers []*Device, size int, done func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
 	agents := make([]bus.Agent, len(peers))
 	for i, p := range peers {
 		agents[i] = p.Agent()
@@ -344,8 +488,13 @@ func (d *Device) DMAToPeers(peers []*Device, size int, done func()) {
 	d.bsys.TransferMulti(d.Agent(), agents, size, done)
 }
 
-// InterruptHost raises a host interrupt attributed to this device.
+// InterruptHost raises a host interrupt attributed to this device. Dead
+// devices raise no interrupts.
 func (d *Device) InterruptHost(cycles uint64, k func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
 	d.host.Interrupt(d.cfg.Name, cycles, k)
 }
 

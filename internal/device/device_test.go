@@ -267,3 +267,114 @@ func TestEnergyAccounting(t *testing.T) {
 		t.Fatalf("energy = %v J, want 0.35", e)
 	}
 }
+
+// --- Failure model ---
+
+func TestCrashDropsWorkAndTimers(t *testing.T) {
+	eng, _, _, d := rig()
+	var ran, tick int
+	d.Exec(600_000, func() { ran++ }) // in flight when the crash hits
+	d.Timer(5*sim.Millisecond, func() { ran++ })
+	d.PeriodicTimer(sim.Millisecond, func() { tick++ })
+	eng.Schedule(500*sim.Microsecond, d.Crash)
+	eng.RunAll()
+	if ran != 0 {
+		t.Fatalf("dead firmware ran %d callbacks", ran)
+	}
+	if tick != 0 {
+		t.Fatalf("dead firmware ticked %d times", tick)
+	}
+	if d.Health() != HealthCrashed || d.Healthy() {
+		t.Fatalf("health = %v", d.Health())
+	}
+	// Work submitted while crashed is dropped and counted.
+	d.Exec(1000, func() { ran++ })
+	d.DMAToHost(0, 64, func() { ran++ })
+	eng.RunAll()
+	if ran != 0 {
+		t.Fatal("crashed device executed work")
+	}
+	if d.DroppedWork() == 0 {
+		t.Fatal("dropped work not counted")
+	}
+	if d.Crashes() != 1 {
+		t.Fatalf("crashes = %d", d.Crashes())
+	}
+}
+
+func TestRestoreAfterCrashResetsMemory(t *testing.T) {
+	eng, _, _, d := rig()
+	addr, err := d.AllocMem(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteMem(addr, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if _, err := d.AllocMem(64); err == nil {
+		t.Fatal("allocated on a crashed device")
+	}
+	d.Restore()
+	if !d.Healthy() {
+		t.Fatalf("health after restore = %v", d.Health())
+	}
+	if d.MemUsed() != 0 {
+		t.Fatalf("crash restore kept %d bytes allocated", d.MemUsed())
+	}
+	got, err := d.ReadMem(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("crash restore kept memory contents %v", got)
+	}
+	// Exports survive (firmware ROM).
+	d.Export("sym", 0x100)
+	d.Crash()
+	d.Restore()
+	if d.Exports()["sym"] != 0x100 {
+		t.Fatal("exports lost across crash")
+	}
+	// A restored device executes work again.
+	ran := false
+	d.Exec(1000, func() { ran = true })
+	eng.RunAll()
+	if !ran {
+		t.Fatal("restored device did not run work")
+	}
+}
+
+func TestHangPreservesMemory(t *testing.T) {
+	_, _, _, d := rig()
+	addr, _ := d.AllocMem(16)
+	if err := d.WriteMem(addr, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	d.Hang()
+	if d.Health() != HealthHung {
+		t.Fatalf("health = %v", d.Health())
+	}
+	if d.Hangs() != 1 {
+		t.Fatalf("hangs = %d", d.Hangs())
+	}
+	d.Restore()
+	got, _ := d.ReadMem(addr, 1)
+	if got[0] != 7 {
+		t.Fatal("hang restore lost memory contents")
+	}
+	if d.MemUsed() == 0 {
+		t.Fatal("hang restore lost allocations")
+	}
+}
+
+func TestStaleTimerDoesNotFireAfterRestore(t *testing.T) {
+	eng, _, _, d := rig()
+	fired := false
+	d.Timer(10*sim.Millisecond, func() { fired = true })
+	eng.Schedule(sim.Millisecond, func() { d.Crash(); d.Restore() })
+	eng.RunAll()
+	if fired {
+		t.Fatal("timer armed by dead firmware fired after restore")
+	}
+}

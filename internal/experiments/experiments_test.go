@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"hydra/internal/sim"
+	"hydra/internal/testbed"
 	"hydra/internal/tivopc"
 )
 
@@ -196,5 +198,75 @@ func TestLoaderAblation(t *testing.T) {
 	}
 	if !strings.Contains(a.Render(), "X4") {
 		t.Fatal("render broken")
+	}
+}
+
+func TestX6FailoverShape(t *testing.T) {
+	res, err := RunFailover(DefaultSeed, 20*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFailoverShape(res); err != nil {
+		t.Fatal(err)
+	}
+	// The faulted variants end on the expected NICs: single crash stays on
+	// the standby; crash+failback lands back on the restored primary.
+	byName := map[string]FailoverRow{}
+	for _, row := range res.Rows {
+		byName[row.Scenario] = row
+	}
+	if got := byName["Single NIC Crash"].FinalNIC; got != tivopc.StandbyNIC {
+		t.Fatalf("single crash final NIC = %s", got)
+	}
+	if got := byName["Crash + Failback"].FinalNIC; got != tivopc.PrimaryNIC {
+		t.Fatalf("crash+failback final NIC = %s", got)
+	}
+	if byName["Crash + Failback"].Recoveries != 2 {
+		t.Fatalf("crash+failback recoveries = %d", byName["Crash + Failback"].Recoveries)
+	}
+	rendered := res.Render()
+	for _, want := range []string{"X6", "Single NIC Crash", "Crash + Failback", "avail"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("render missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+// X6 obeys the determinism contract: repeats are bit-identical, and the
+// scenario sweep gives the same results serial or parallel.
+func TestX6FailoverDeterministicAndSweepSafe(t *testing.T) {
+	const dur = 10 * sim.Second
+	a, err := RunFailover(DefaultSeed, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFailover(DefaultSeed, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fixed-seed X6 differs across repeats:\n%+v\nvs\n%+v", a, b)
+	}
+
+	sched := tivopc.CrashPrimaryNIC(4*sim.Second, 0)
+	seeds := []int64{DefaultSeed, DefaultSeed + 1, DefaultSeed + 2, DefaultSeed + 3}
+	run := func(workers int) []*tivopc.FailoverRun {
+		runs, err := testbed.Sweep(testbed.SweepConfig{Seeds: seeds, Workers: workers},
+			func(r testbed.Replica) (*tivopc.FailoverRun, error) {
+				return tivopc.RunFailoverScenario(r.Seed, dur, sched)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
+	}
+	serial, parallel := run(1), run(4)
+	for i := range seeds {
+		if !reflect.DeepEqual(serial[i].Arrivals, parallel[i].Arrivals) {
+			t.Fatalf("seed %d: serial and parallel failover arrivals differ", seeds[i])
+		}
+		if !reflect.DeepEqual(serial[i].Faults, parallel[i].Faults) {
+			t.Fatalf("seed %d: fault logs differ across workers", seeds[i])
+		}
 	}
 }

@@ -1,0 +1,266 @@
+// Package faults is the deterministic fault injector: it replays declarative
+// fault schedules — device crashes, firmware hangs, restarts, bus
+// degradation and outages — against a running simulation, driven entirely by
+// the engine's virtual clock and a private seeded random stream.
+//
+// The determinism contract extends to failures: a fixed seed plus a fixed
+// schedule produces a bit-identical run, including every fault, every
+// detection and every recovery. Random schedules (RandomCrashSchedule) are
+// materialized up front from the injector's Engine.NewRand stream, so two
+// injectors on equal-seed engines generate identical fault histories and
+// replicas in a testbed.Sweep never share RNG state.
+//
+// The injector only throws the switches; reacting to them is the runtime's
+// job (see internal/core's health monitor and Offcode migration).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hydra/internal/bus"
+	"hydra/internal/device"
+	"hydra/internal/sim"
+)
+
+// Kind is a fault type.
+type Kind int
+
+// Fault kinds.
+const (
+	// DeviceCrash kills a device; local memory is lost. With a Duration,
+	// the device restarts (power-on reset) that long after the crash.
+	DeviceCrash Kind = iota
+	// DeviceHang wedges a device's firmware; memory survives. With a
+	// Duration, the device un-wedges that long after the hang.
+	DeviceHang
+	// DeviceRestart restores a previously crashed or hung device.
+	DeviceRestart
+	// BusDegrade multiplies a host bus's wire time by Factor. With a
+	// Duration, full speed returns that long after the degradation.
+	BusDegrade
+	// BusOutage blocks a host bus entirely for Duration.
+	BusOutage
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DeviceCrash:
+		return "device-crash"
+	case DeviceHang:
+		return "device-hang"
+	case DeviceRestart:
+		return "device-restart"
+	case BusDegrade:
+		return "bus-degrade"
+	case BusOutage:
+		return "bus-outage"
+	}
+	return "invalid"
+}
+
+// Entry is one declarative fault. Device faults name a device; bus faults
+// name the host whose interconnect degrades.
+type Entry struct {
+	// At is the virtual time the fault strikes.
+	At sim.Time
+	// Kind selects the fault.
+	Kind Kind
+	// Device names the target device (device faults).
+	Device string
+	// Host names the host whose bus is targeted (bus faults).
+	Host string
+	// Factor is the BusDegrade wire-time multiplier (≥ 1).
+	Factor float64
+	// Duration bounds the fault where the Kind supports it; see the Kind
+	// constants. Zero means the fault persists until a later entry undoes it.
+	Duration sim.Time
+}
+
+func (e Entry) String() string {
+	target := e.Device
+	if target == "" {
+		target = e.Host
+	}
+	return fmt.Sprintf("%v@%v(%s)", e.Kind, e.At, target)
+}
+
+// Schedule is a replayable fault script. Entries may be listed in any
+// order; Arm applies them in (At, declaration-index) order.
+type Schedule []Entry
+
+// Targets resolves the names a Schedule uses to live components.
+// testbed.System satisfies it.
+type Targets interface {
+	// Device returns the named device, or nil.
+	Device(name string) *device.Device
+	// Bus returns the named host's I/O interconnect, or nil.
+	Bus(host string) *bus.Bus
+}
+
+// Record is one fault the injector actually applied.
+type Record struct {
+	At     sim.Time
+	Kind   Kind
+	Target string
+}
+
+// Injector replays fault schedules on an engine.
+type Injector struct {
+	eng *sim.Engine
+	rng *rand.Rand
+	log []Record
+}
+
+// NewInjector creates an injector with its own private random stream.
+func NewInjector(eng *sim.Engine) *Injector {
+	return &Injector{eng: eng, rng: eng.NewRand(0x6661756c74 /* "fault" */)}
+}
+
+// Arm validates the schedule against targets and schedules every entry
+// (plus the implied restores for bounded faults). Validation is eager so a
+// typo in a device name fails at build time, not mid-run.
+func (in *Injector) Arm(sched Schedule, t Targets) error {
+	ordered := make([]Entry, len(sched))
+	copy(ordered, sched)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	for _, e := range ordered {
+		if err := in.armEntry(e, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Injector) armEntry(e Entry, t Targets) error {
+	switch e.Kind {
+	case DeviceCrash, DeviceHang, DeviceRestart:
+		d := t.Device(e.Device)
+		if d == nil {
+			return fmt.Errorf("faults: %v targets unknown device %q", e.Kind, e.Device)
+		}
+		switch e.Kind {
+		case DeviceCrash:
+			in.CrashDevice(e.At, d)
+			if e.Duration > 0 {
+				in.RestartDevice(e.At+e.Duration, d)
+			}
+		case DeviceHang:
+			in.HangDevice(e.At, d)
+			if e.Duration > 0 {
+				in.RestartDevice(e.At+e.Duration, d)
+			}
+		case DeviceRestart:
+			in.RestartDevice(e.At, d)
+		}
+	case BusDegrade:
+		b := t.Bus(e.Host)
+		if b == nil {
+			return fmt.Errorf("faults: %v targets unknown host %q", e.Kind, e.Host)
+		}
+		if e.Factor < 1 {
+			return fmt.Errorf("faults: %v factor %v < 1", e.Kind, e.Factor)
+		}
+		in.DegradeBus(e.At, e.Host, b, e.Factor, e.Duration)
+	case BusOutage:
+		b := t.Bus(e.Host)
+		if b == nil {
+			return fmt.Errorf("faults: %v targets unknown host %q", e.Kind, e.Host)
+		}
+		if e.Duration <= 0 {
+			return fmt.Errorf("faults: %v needs a positive duration", e.Kind)
+		}
+		in.BusOutage(e.At, e.Host, b, e.Duration)
+	default:
+		return fmt.Errorf("faults: unknown kind %d", e.Kind)
+	}
+	return nil
+}
+
+// at schedules fn at absolute virtual time t (clamped to now).
+func (in *Injector) at(t sim.Time, fn func()) {
+	in.eng.At(t, fn)
+}
+
+func (in *Injector) record(k Kind, target string) {
+	in.log = append(in.log, Record{At: in.eng.Now(), Kind: k, Target: target})
+}
+
+// CrashDevice kills d at virtual time at.
+func (in *Injector) CrashDevice(at sim.Time, d *device.Device) {
+	in.at(at, func() {
+		in.record(DeviceCrash, d.Name())
+		d.Crash()
+	})
+}
+
+// HangDevice wedges d's firmware at virtual time at.
+func (in *Injector) HangDevice(at sim.Time, d *device.Device) {
+	in.at(at, func() {
+		in.record(DeviceHang, d.Name())
+		d.Hang()
+	})
+}
+
+// RestartDevice restores d at virtual time at.
+func (in *Injector) RestartDevice(at sim.Time, d *device.Device) {
+	in.at(at, func() {
+		in.record(DeviceRestart, d.Name())
+		d.Restore()
+	})
+}
+
+// DegradeBus multiplies b's wire time by factor at virtual time at; with a
+// positive duration, full speed returns afterwards.
+func (in *Injector) DegradeBus(at sim.Time, host string, b *bus.Bus, factor float64, duration sim.Time) {
+	in.at(at, func() {
+		in.record(BusDegrade, host)
+		b.SetSlowdown(factor)
+	})
+	if duration > 0 {
+		in.at(at+duration, func() { b.SetSlowdown(1) })
+	}
+}
+
+// BusOutage blocks b for duration starting at virtual time at.
+func (in *Injector) BusOutage(at sim.Time, host string, b *bus.Bus, duration sim.Time) {
+	in.at(at, func() {
+		in.record(BusOutage, host)
+		b.Outage(duration)
+	})
+}
+
+// Log returns the faults applied so far, in application order.
+func (in *Injector) Log() []Record {
+	return append([]Record(nil), in.log...)
+}
+
+// RandomCrashSchedule draws a crash/restart script over the named devices:
+// crash arrivals are a Poisson process at rate faults per simulated second
+// over [0, duration), each picking a uniformly random device and restarting
+// it restartAfter later. The script derives entirely from the injector's
+// private stream, so equal seeds give equal schedules. Arrivals whose
+// restart would overlap the next crash of the same device are kept — the
+// device model makes double-crash a no-op — but the rate should normally be
+// chosen so crashes are sparse relative to restartAfter.
+func (in *Injector) RandomCrashSchedule(devices []string, duration sim.Time, rate float64, restartAfter sim.Time) Schedule {
+	if len(devices) == 0 || rate <= 0 {
+		return nil
+	}
+	var sched Schedule
+	t := sim.Time(0)
+	for {
+		gap := sim.Seconds(in.rng.ExpFloat64() / rate)
+		t += gap
+		if t >= duration {
+			return sched
+		}
+		sched = append(sched, Entry{
+			At:       t,
+			Kind:     DeviceCrash,
+			Device:   devices[in.rng.Intn(len(devices))],
+			Duration: restartAfter,
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hydra/internal/bus"
+	"hydra/internal/device"
+	"hydra/internal/hostos"
+	"hydra/internal/sim"
+)
+
+// world is a minimal Targets implementation over one host.
+type world struct {
+	eng  *sim.Engine
+	host *hostos.Machine
+	b    *bus.Bus
+	devs map[string]*device.Device
+}
+
+func (w *world) Device(name string) *device.Device { return w.devs[name] }
+func (w *world) Bus(host string) *bus.Bus {
+	if host == "h0" {
+		return w.b
+	}
+	return nil
+}
+
+func newWorld(seed int64) *world {
+	eng := sim.NewEngine(seed)
+	host := hostos.New(eng, "h0", hostos.PentiumIV())
+	b := bus.New(eng, bus.DefaultConfig())
+	w := &world{eng: eng, host: host, b: b, devs: map[string]*device.Device{}}
+	w.devs["nic0"] = device.New(eng, host, b, device.XScaleNIC("nic0"))
+	w.devs["nic1"] = device.New(eng, host, b, device.XScaleNIC("nic1"))
+	return w
+}
+
+func TestArmAppliesScheduleInOrder(t *testing.T) {
+	w := newWorld(1)
+	in := NewInjector(w.eng)
+	sched := Schedule{
+		{At: 30 * sim.Millisecond, Kind: BusDegrade, Host: "h0", Factor: 3, Duration: 10 * sim.Millisecond},
+		{At: 10 * sim.Millisecond, Kind: DeviceCrash, Device: "nic0", Duration: 20 * sim.Millisecond},
+		{At: 20 * sim.Millisecond, Kind: DeviceHang, Device: "nic1"},
+		{At: 50 * sim.Millisecond, Kind: DeviceRestart, Device: "nic1"},
+		{At: 60 * sim.Millisecond, Kind: BusOutage, Host: "h0", Duration: sim.Millisecond},
+	}
+	if err := in.Arm(sched, w); err != nil {
+		t.Fatal(err)
+	}
+
+	w.eng.Run(15 * sim.Millisecond)
+	if w.devs["nic0"].Health() != device.HealthCrashed {
+		t.Fatal("crash not applied")
+	}
+	w.eng.Run(25 * sim.Millisecond)
+	if w.devs["nic1"].Health() != device.HealthHung {
+		t.Fatal("hang not applied")
+	}
+	w.eng.Run(35 * sim.Millisecond)
+	if !w.devs["nic0"].Healthy() {
+		t.Fatal("bounded crash did not auto-restart")
+	}
+	if w.b.Slowdown() != 3 {
+		t.Fatalf("slowdown = %v", w.b.Slowdown())
+	}
+	w.eng.Run(45 * sim.Millisecond)
+	if w.b.Slowdown() != 1 {
+		t.Fatal("bounded degradation did not restore")
+	}
+	w.eng.RunAll()
+	if !w.devs["nic1"].Healthy() {
+		t.Fatal("explicit restart not applied")
+	}
+	if w.b.Outages() != 1 {
+		t.Fatal("outage not applied")
+	}
+
+	log := in.Log()
+	kinds := make([]Kind, len(log))
+	for i, r := range log {
+		kinds[i] = r.Kind
+	}
+	// The bounded crash's auto-restart appears in the log too, at 30 ms —
+	// armed before the degradation entry, so it fires first.
+	want := []Kind{DeviceCrash, DeviceHang, DeviceRestart, BusDegrade, DeviceRestart, BusOutage}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("log kinds = %v, want %v", kinds, want)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].At < log[i-1].At {
+			t.Fatalf("log out of order: %v", log)
+		}
+	}
+}
+
+func TestArmValidatesNames(t *testing.T) {
+	w := newWorld(1)
+	in := NewInjector(w.eng)
+	cases := []Entry{
+		{Kind: DeviceCrash, Device: "ghost"},
+		{Kind: BusDegrade, Host: "ghost", Factor: 2},
+		{Kind: BusDegrade, Host: "h0", Factor: 0.5},
+		{Kind: BusOutage, Host: "h0"},
+		{Kind: Kind(99)},
+	}
+	for i, e := range cases {
+		if err := in.Arm(Schedule{e}, w); err == nil {
+			t.Errorf("case %d (%v): invalid entry armed", i, e)
+		}
+	}
+	if err := in.Arm(Schedule{{Kind: DeviceCrash, Device: "ghost"}}, w); err == nil ||
+		!strings.Contains(err.Error(), "ghost") {
+		t.Fatal("error does not name the unknown target")
+	}
+}
+
+func TestRandomCrashScheduleDeterministic(t *testing.T) {
+	gen := func(seed int64) Schedule {
+		w := newWorld(seed)
+		in := NewInjector(w.eng)
+		return in.RandomCrashSchedule([]string{"nic0", "nic1"}, 10*sim.Second, 1.0, 200*sim.Millisecond)
+	}
+	a, b := gen(42), gen(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different schedules")
+	}
+	c := gen(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("rate 1/s over 10 s produced no faults")
+	}
+	for i, e := range a {
+		if e.At < 0 || e.At >= 10*sim.Second {
+			t.Fatalf("entry %d outside [0, duration): %v", i, e)
+		}
+		if e.Kind != DeviceCrash || e.Duration != 200*sim.Millisecond {
+			t.Fatalf("entry %d malformed: %v", i, e)
+		}
+		if i > 0 && e.At < a[i-1].At {
+			t.Fatalf("schedule not time-ordered at %d", i)
+		}
+	}
+	if s := NewInjector(newWorld(1).eng).RandomCrashSchedule(nil, sim.Second, 1, 0); s != nil {
+		t.Fatal("nil device list should yield a nil schedule")
+	}
+}
+
+func TestInjectorStreamIsolated(t *testing.T) {
+	// Creating an injector must not perturb the engine's main stream.
+	draw := func(makeInjector bool) int64 {
+		eng := sim.NewEngine(7)
+		if makeInjector {
+			NewInjector(eng)
+		}
+		return eng.Rand().Int63()
+	}
+	if draw(true) != draw(false) {
+		t.Fatal("injector perturbed the engine's shared stream")
+	}
+}

@@ -50,4 +50,9 @@ const (
 	IIDHeap             GUID = 0x1003 // hydra.Heap pseudo Offcode
 	IIDChannelExecutive GUID = 0x1004 // hydra.ChannelExecutive pseudo Offcode
 	IIDLoader           GUID = 0x1005 // per-device loader pseudo Offcode
+	// IIDHealthMonitor is the base GUID of the per-device heartbeat pseudo
+	// Offcodes (hydra.Health.<device>); the i-th monitored device gets
+	// IIDHealthMonitor + i. The range is far above the small decimal GUIDs
+	// user ODFs carry.
+	IIDHealthMonitor GUID = 0x48454C54_0000 // "HELT"
 )

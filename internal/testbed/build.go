@@ -7,6 +7,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/depot"
 	"hydra/internal/device"
+	"hydra/internal/faults"
 	"hydra/internal/hostos"
 	"hydra/internal/netsim"
 	"hydra/internal/nfs"
@@ -20,6 +21,8 @@ type System struct {
 	Eng  *sim.Engine
 	// Net is the inter-host network (nil when the Spec declared none).
 	Net *netsim.Network
+	// Injector replays the Spec's fault schedule (nil when none declared).
+	Injector *faults.Injector
 
 	hosts    map[string]*HostSystem
 	hostList []*HostSystem
@@ -40,6 +43,8 @@ type HostSystem struct {
 	// Depot and Runtime are non-nil iff the HostSpec declared a runtime.
 	Depot   *depot.Depot
 	Runtime *core.Runtime
+	// Monitor is the running health monitor, if the HostSpec asked for one.
+	Monitor *core.Monitor
 	// IdleLoad is the running background load, if the HostSpec started one.
 	IdleLoad *hostos.IdleLoad
 }
@@ -161,12 +166,24 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 			for _, d := range hs.Devices {
 				hs.Runtime.RegisterDevice(d)
 			}
+			if h.Monitor != nil {
+				hs.Monitor = hs.Runtime.StartMonitor(*h.Monitor)
+			}
+		} else if h.Monitor != nil {
+			return nil, fmt.Errorf("testbed: host %q declares a Monitor but no Runtime", h.Name)
 		}
 		if h.IdleLoad != nil {
 			hs.IdleLoad = hs.Machine.StartIdleLoad(*h.IdleLoad)
 		}
 		sys.hosts[h.Name] = hs
 		sys.hostList = append(sys.hostList, hs)
+	}
+
+	if len(spec.Faults) > 0 {
+		sys.Injector = faults.NewInjector(eng)
+		if err := sys.Injector.Arm(spec.Faults, sys); err != nil {
+			return nil, err
+		}
 	}
 	return sys, nil
 }
@@ -198,6 +215,15 @@ func (sys *System) Hosts() []*HostSystem { return sys.hostList }
 
 // Device returns the device with the given name from any host, or nil.
 func (sys *System) Device(name string) *device.Device { return sys.devices[name] }
+
+// Bus returns the named host's I/O interconnect, or nil. Together with
+// Device this makes a System a faults.Targets.
+func (sys *System) Bus(host string) *bus.Bus {
+	if h := sys.hosts[host]; h != nil {
+		return h.Bus
+	}
+	return nil
+}
 
 // Station returns the network station with the given name, or nil.
 func (sys *System) Station(name string) *netsim.Station { return sys.stations[name] }

@@ -37,6 +37,7 @@ import (
 	"hydra/internal/bus"
 	"hydra/internal/core"
 	"hydra/internal/device"
+	"hydra/internal/faults"
 	"hydra/internal/hostos"
 	"hydra/internal/netsim"
 	"hydra/internal/nfs"
@@ -61,6 +62,12 @@ type Spec struct {
 	NAS []NASSpec
 	// Hosts are the machines of the testbed, built in order.
 	Hosts []HostSpec
+	// Faults, when non-empty, is the declarative fault schedule replayed
+	// against the built system: device crashes/hangs/restarts by device
+	// name, bus degradation and outages by host name. Build validates every
+	// name and arms the schedule on a seed-derived injector, so fault
+	// histories are replica-private and bit-identical for a fixed seed.
+	Faults faults.Schedule
 }
 
 // NetSpec configures the inter-host network.
@@ -106,6 +113,10 @@ type HostSpec struct {
 	// Offcode depot, with every declared device registered as an offload
 	// target. nil hosts get neither (pure traffic generators / baselines).
 	Runtime *core.Config
+	// Monitor, when non-nil (requires Runtime), starts the runtime health
+	// monitor over the host's devices: heartbeat probing, failure
+	// detection, and automatic Offcode migration onto surviving targets.
+	Monitor *core.MonitorConfig
 	// IdleLoad, when non-nil, starts background daemons after construction
 	// (the paper's "idle system" baseline).
 	IdleLoad *hostos.IdleLoadConfig

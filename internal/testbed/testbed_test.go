@@ -7,6 +7,7 @@ import (
 
 	"hydra/internal/core"
 	"hydra/internal/device"
+	"hydra/internal/faults"
 	"hydra/internal/netsim"
 	"hydra/internal/nfs"
 	"hydra/internal/sim"
@@ -262,5 +263,56 @@ func TestMergeSamples(t *testing.T) {
 	sum := SummarizeMerged([][]float64{{1, 2}, {3, 4}})
 	if sum.N != 4 || sum.Mean != 2.5 {
 		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestBuildArmsFaultSchedule(t *testing.T) {
+	spec := twoHostSpec()
+	spec.Hosts[0].Monitor = &core.MonitorConfig{Heartbeat: 5 * sim.Millisecond}
+	spec.Faults = faults.Schedule{
+		{At: 10 * sim.Millisecond, Kind: faults.DeviceCrash, Device: "alpha-nic"},
+		{At: 20 * sim.Millisecond, Kind: faults.BusDegrade, Host: "beta", Factor: 2},
+	}
+	sys, err := New(5, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Injector == nil {
+		t.Fatal("no injector for a Spec with faults")
+	}
+	if sys.Host("alpha").Monitor == nil {
+		t.Fatal("no monitor for a HostSpec with Monitor")
+	}
+	sys.Eng.Run(30 * sim.Millisecond)
+	if sys.Device("alpha-nic").Healthy() {
+		t.Fatal("scheduled crash not applied")
+	}
+	if sys.Bus("beta").Slowdown() != 2 {
+		t.Fatalf("beta bus slowdown = %v", sys.Bus("beta").Slowdown())
+	}
+	if len(sys.Injector.Log()) != 2 {
+		t.Fatalf("injector log = %v", sys.Injector.Log())
+	}
+}
+
+func TestBuildRejectsBadFaultTargets(t *testing.T) {
+	spec := twoHostSpec()
+	spec.Faults = faults.Schedule{{Kind: faults.DeviceCrash, Device: "ghost-nic"}}
+	if _, err := New(1, spec); err == nil || !strings.Contains(err.Error(), "ghost-nic") {
+		t.Fatalf("err = %v, want unknown device", err)
+	}
+	spec = twoHostSpec()
+	spec.Faults = faults.Schedule{{Kind: faults.BusOutage, Host: "ghost", Duration: sim.Millisecond}}
+	if _, err := New(1, spec); err == nil {
+		t.Fatal("unknown host armed")
+	}
+}
+
+func TestBuildRejectsMonitorWithoutRuntime(t *testing.T) {
+	spec := twoHostSpec()
+	spec.Hosts[1].Runtime = nil
+	spec.Hosts[1].Monitor = &core.MonitorConfig{}
+	if _, err := New(1, spec); err == nil || !strings.Contains(err.Error(), "Monitor") {
+		t.Fatalf("err = %v, want monitor-without-runtime error", err)
 	}
 }

@@ -1,6 +1,7 @@
 package tivopc
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"hydra/internal/core"
@@ -86,6 +87,28 @@ func (f *fileOffcode) Initialize(ctx *core.Context) error {
 	}
 	f.cli = nfs.NewClient(f.tb.Eng, f.station, "nas", f.port, 0)
 	f.lowWater = 24
+	// Reset transient streaming state: a re-instantiated (migrated) File
+	// re-opens the movie and resumes from the checkpointed offset. Chunks
+	// that were buffered in the dead device's memory are gone.
+	f.handle, f.size = 0, 0
+	f.buffered, f.pending, f.eof = nil, false, false
+	return nil
+}
+
+// Checkpoint and Restore carry the stream position across a migration
+// (core.Checkpointer), so the client resumes mid-movie instead of from the
+// first frame.
+func (f *fileOffcode) Checkpoint() []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], f.offset)
+	return b[:]
+}
+
+func (f *fileOffcode) Restore(state []byte) error {
+	if len(state) != 8 {
+		return fmt.Errorf("tivo.File: checkpoint of %d bytes", len(state))
+	}
+	f.offset = binary.LittleEndian.Uint64(state)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package tivopc
 
 import (
+	"reflect"
 	"testing"
 
 	"hydra/internal/sim"
@@ -193,6 +194,99 @@ func TestDeterministicScenario(t *testing.T) {
 	for i := range r1.JitterGaps {
 		if r1.JitterGaps[i] != r2.JitterGaps[i] {
 			t.Fatal("runs not deterministic")
+		}
+	}
+}
+
+// --- NIC failover ---
+
+func TestFailoverRecoversOnStandbyNIC(t *testing.T) {
+	duration := 20 * sim.Second
+	crashAt := 8 * sim.Second
+	run, err := RunFailoverScenario(1, duration, CrashPrimaryNIC(crashAt, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.FinalNIC != StandbyNIC {
+		t.Fatalf("tivo.Server on %s, want %s", run.FinalNIC, StandbyNIC)
+	}
+	if len(run.Recoveries) != 1 {
+		t.Fatalf("recoveries = %d", len(run.Recoveries))
+	}
+	rec := run.Recoveries[0]
+	if rec.Device != PrimaryNIC || !rec.Complete() || rec.Err != nil {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	lat := run.DetectionLatencies()
+	if len(lat) != 1 || lat[0] <= 0 || lat[0] > 4*FailoverHeartbeat {
+		t.Fatalf("detection latencies = %v", lat)
+	}
+	if rec.MigrationTime() <= 0 || rec.MigrationTime() > sim.Second {
+		t.Fatalf("migration time = %v", rec.MigrationTime())
+	}
+	// The stream went down briefly and came back: post-recovery arrivals
+	// exist and pace at the nominal 5 ms period.
+	post := run.PostRecoveryJitter()
+	if post.N < 100 {
+		t.Fatalf("only %d post-recovery gaps", post.N)
+	}
+	if post.Median < 4 || post.Median > 6 {
+		t.Fatalf("post-recovery median gap = %.2f ms, want ≈5", post.Median)
+	}
+	if run.ChunksLost() == 0 {
+		t.Fatal("a crash mid-stream should lose some chunks")
+	}
+	if run.Availability() < 0.9 || run.Availability() > 1.0 {
+		t.Fatalf("availability = %.3f", run.Availability())
+	}
+	// The File Offcode resumed from its checkpoint: total delivered plus
+	// the outage loss covers the nominal stream (no restart from zero).
+	if run.Delivered()+run.ChunksLost() < run.Expected-10 {
+		t.Fatalf("delivered %d + lost %d ≪ expected %d; stream did not resume",
+			run.Delivered(), run.ChunksLost(), run.Expected)
+	}
+}
+
+func TestFailoverBaselineWithoutFaults(t *testing.T) {
+	run, err := RunFailoverScenario(1, 10*sim.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.FinalNIC != PrimaryNIC {
+		t.Fatalf("fault-free run on %s, want %s", run.FinalNIC, PrimaryNIC)
+	}
+	if len(run.Recoveries) != 0 {
+		t.Fatalf("fault-free run recovered %d times", len(run.Recoveries))
+	}
+	if run.ChunksLost() != 0 {
+		t.Fatalf("fault-free run lost %d chunks", run.ChunksLost())
+	}
+}
+
+func TestFailoverDeterministic(t *testing.T) {
+	duration := 10 * sim.Second
+	sched := CrashPrimaryNIC(4*sim.Second, 0)
+	run1, err := RunFailoverScenario(3, duration, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := RunFailoverScenario(3, duration, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run1.Arrivals, run2.Arrivals) {
+		t.Fatal("fixed-seed failover arrivals differ across repeats")
+	}
+	if !reflect.DeepEqual(run1.Faults, run2.Faults) {
+		t.Fatal("fixed-seed fault logs differ")
+	}
+	if len(run1.Recoveries) != len(run2.Recoveries) {
+		t.Fatal("recovery counts differ")
+	}
+	for i := range run1.Recoveries {
+		a, b := run1.Recoveries[i], run2.Recoveries[i]
+		if a.DetectedAt != b.DetectedAt || a.MigrationEnd != b.MigrationEnd {
+			t.Fatalf("recovery %d timing differs: %+v vs %+v", i, a, b)
 		}
 	}
 }

@@ -104,6 +104,15 @@ func TestSmokeBinaries(t *testing.T) {
 		}
 	})
 
+	t.Run("tivopc-failover", func(t *testing.T) {
+		out := runBinary(t, bin, "cmd/tivopc", "-seconds", "10", "-crash-nic", "4")
+		for _, want := range []string{"server-nic failed", "stream resumed on: server-nic2"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("failover output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("odflint", func(t *testing.T) {
 		odf := filepath.Join(t.TempDir(), "ok.odf")
 		err := os.WriteFile(odf, []byte(`<offcode>

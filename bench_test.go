@@ -255,6 +255,32 @@ func BenchmarkX6Failover(b *testing.B) {
 	}
 }
 
+// --- X7: channel saturation ---
+
+func BenchmarkX7Saturation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSaturation(experiments.DefaultSeed, experiments.X7Duration)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				if row.RateHz != 50_000 {
+					continue
+				}
+				switch row.Batch {
+				case 1:
+					b.ReportMetric(row.CyclesPerMsg, "permsg-cycles")
+					b.ReportMetric(row.MeanLatencyMS, "permsg-lat-ms")
+				case 32:
+					b.ReportMetric(row.CyclesPerMsg, "batch32-cycles")
+					b.ReportMetric(row.MeanLatencyMS, "batch32-lat-ms")
+				}
+			}
+		}
+	}
+}
+
 // --- Framework microbenchmarks ---
 
 func BenchmarkChannelMessageHostToDevice(b *testing.B) {

@@ -11,7 +11,9 @@
 // pool. Per-seed results are bit-identical; only the wall clock differs.
 //
 // The -scenario flag runs a single experiment by name (e.g. -scenario
-// x6-failover), which makes iterating on one table cheap.
+// x6-failover), which makes iterating on one table cheap. CI archives
+// `-json -scenario x7-saturation` output as the per-commit channel hot-path
+// baseline (cycles/message, latency, interrupts, event volume).
 //
 // Usage:
 //
@@ -194,6 +196,25 @@ func main() {
 			m[slug(row.Scenario)+"_post_stddev_ms"] = row.PostJitter.StdDev
 		}
 		return m, fo.Render(), nil
+	})
+
+	timed("x7-saturation", func() (map[string]float64, string, error) {
+		sat, err := experiments.RunSaturation(*seed, experiments.X7Duration)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := experiments.CheckSaturationShape(sat); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range sat.Rows {
+			key := fmt.Sprintf("rate%dk_batch%d", row.RateHz/1000, row.Batch)
+			m[key+"_cycles_per_msg"] = row.CyclesPerMsg
+			m[key+"_lat_mean_ms"] = row.MeanLatencyMS
+			m[key+"_interrupts"] = float64(row.Interrupts)
+			m[key+"_events"] = float64(row.EventsFired)
+		}
+		return m, sat.Render(), nil
 	})
 
 	if *scenario == "table2-jitter-sweep" && *sweepN <= 0 {

@@ -82,8 +82,14 @@ type (
 	Depot = depot.Depot
 	// Channel is a communication pathway between endpoints.
 	Channel = channel.Channel
-	// ChannelConfig mirrors the paper's channel configuration.
+	// ChannelConfig mirrors the paper's channel configuration, including
+	// the descriptor-ring batching and interrupt-coalescing knobs.
 	ChannelConfig = channel.Config
+	// ChannelStats counts channel activity: deliveries, drops, interrupts,
+	// batches, coalesce flushes, scatter-gather writes, undelivered sends.
+	ChannelStats = channel.Stats
+	// ChannelSyncMode selects sequential or concurrent handler dispatch.
+	ChannelSyncMode = channel.SyncMode
 	// Endpoint is one end of a channel.
 	Endpoint = channel.Endpoint
 	// ODF is a parsed Offcode Description File.
@@ -109,6 +115,9 @@ type (
 	HostSpec = testbed.HostSpec
 	// NetSpec declares the inter-host network.
 	NetSpec = testbed.NetSpec
+	// ChannelSpec names a channel configuration profile on a TestbedSpec
+	// (ring depth, zero-copy policy, batching, interrupt coalescing).
+	ChannelSpec = testbed.ChannelSpec
 	// NASSpec declares a network-attached storage appliance.
 	NASSpec = testbed.NASSpec
 	// FileSpec is one file pre-loaded onto a NAS.
@@ -164,6 +173,9 @@ const (
 	HealthOK      = device.HealthOK
 	HealthHung    = device.HealthHung
 	HealthCrashed = device.HealthCrashed
+	// SyncSequential / SyncConcurrent are channel handler dispatch modes.
+	SyncSequential = channel.SyncSequential
+	SyncConcurrent = channel.SyncConcurrent
 )
 
 // Sweep runs one scenario replica per seed on a worker pool, each replica
@@ -206,6 +218,14 @@ var (
 	// DefaultChannelConfig is the Figure 3 channel: reliable, zero-copy,
 	// sequential unicast.
 	DefaultChannelConfig = channel.DefaultConfig
+	// OOBChannelConfig is the runtime's connectionless out-of-band channel.
+	OOBChannelConfig = channel.OOBConfig
+	// NewChannel creates a channel owned by a creator endpoint.
+	NewChannel = channel.New
+	// NewHostEndpoint builds a channel endpoint executing on a host.
+	NewHostEndpoint = channel.HostEndpoint
+	// NewDeviceEndpoint builds a channel endpoint executing on a device.
+	NewDeviceEndpoint = channel.DeviceEndpoint
 	// ParseODF parses an Offcode Description File.
 	ParseODF = odf.Parse
 	// ParseInterface parses an interface definition.

@@ -30,6 +30,10 @@ type Config struct {
 	// TransactionOverhead is the fixed arbitration + header cost per
 	// transaction, independent of payload size.
 	TransactionOverhead sim.Time
+	// SegmentOverhead is the per-additional-segment descriptor-fetch cost of
+	// a gather transaction (TransferGather): far cheaper than a full
+	// arbitration, but not free. Zero models an ideal gather engine.
+	SegmentOverhead sim.Time
 	// MulticastCapable reports whether a single transaction can target
 	// multiple agents (PCIe peer-to-peer multicast, paper §1 fn.2).
 	MulticastCapable bool
@@ -42,6 +46,7 @@ func DefaultConfig() Config {
 	return Config{
 		BytesPerSec:         266e6,
 		TransactionOverhead: 500 * sim.Nanosecond,
+		SegmentOverhead:     50 * sim.Nanosecond,
 		MulticastCapable:    true,
 	}
 }
@@ -50,6 +55,9 @@ func DefaultConfig() Config {
 type Stats struct {
 	Transactions uint64
 	Bytes        uint64
+	// GatherSegments counts descriptor segments carried by gather
+	// transactions (TransferGather); plain transfers count none.
+	GatherSegments uint64
 }
 
 // Bus is the shared interconnect. Transfers are serialized: a transfer
@@ -120,8 +128,36 @@ func (b *Bus) TransferMulti(src Agent, dsts []Agent, size int, done func()) sim.
 	return finish
 }
 
+// TransferGather moves several logically distinct payloads from src to dst
+// in ONE bus transaction: a single arbitration + header, wire time for the
+// summed bytes, plus SegmentOverhead for every segment beyond the first.
+// This is the descriptor-ring amortization the paper's zero-copy NIC channel
+// is built around: N completions ride one crossing instead of N.
+func (b *Bus) TransferGather(src, dst Agent, sizes []int, done func()) sim.Time {
+	if len(sizes) == 0 {
+		panic("bus: gather with no segments")
+	}
+	total := 0
+	for _, s := range sizes {
+		if s < 0 {
+			panic("bus: negative gather segment")
+		}
+		total += s
+	}
+	segs := uint64(len(sizes))
+	b.total.GatherSegments += segs
+	b.account(src).GatherSegments += segs
+	b.account(dst).GatherSegments += segs
+	extra := sim.Time(len(sizes)-1) * b.cfg.SegmentOverhead
+	return b.transferDur(src, []Agent{dst}, total, extra, done)
+}
+
 func (b *Bus) transfer(src Agent, dsts []Agent, size int, done func()) sim.Time {
-	dur := b.TransferTime(size)
+	return b.transferDur(src, dsts, size, 0, done)
+}
+
+func (b *Bus) transferDur(src Agent, dsts []Agent, size int, extra sim.Time, done func()) sim.Time {
+	dur := b.TransferTime(size) + extra
 	if b.slowdown > 1 {
 		dur = sim.Time(float64(dur) * b.slowdown)
 	}

@@ -194,3 +194,70 @@ func TestOutageBlocksTransfers(t *testing.T) {
 		t.Fatal("zero-length outage counted")
 	}
 }
+
+func TestTransferGatherOneTransaction(t *testing.T) {
+	eng, b := testBus(true)
+	var doneAt sim.Time
+	b.TransferGather("nic", MainMemory, []int{400, 300, 300}, func() { doneAt = eng.Now() })
+	eng.RunAll()
+	// One arbitration (100) + 1000 bytes of wire time; SegmentOverhead is
+	// zero in the test config, so a gather costs exactly one transaction.
+	if doneAt != 1100 {
+		t.Fatalf("gather completed at %v, want 1100", doneAt)
+	}
+	st := b.Total()
+	if st.Transactions != 1 || st.Bytes != 1000 || st.GatherSegments != 3 {
+		t.Fatalf("gather stats = %+v", st)
+	}
+	if a := b.AgentStats("nic"); a.GatherSegments != 3 {
+		t.Fatalf("per-agent gather segments = %d", a.GatherSegments)
+	}
+}
+
+func TestTransferGatherSegmentOverhead(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := New(eng, Config{BytesPerSec: 1e9, TransactionOverhead: 100, SegmentOverhead: 10})
+	var doneAt sim.Time
+	b.TransferGather("nic", MainMemory, []int{500, 500}, func() { doneAt = eng.Now() })
+	eng.RunAll()
+	// 100 arbitration + 1000 wire + 10 for the second segment's descriptor.
+	if doneAt != 1110 {
+		t.Fatalf("gather with segment overhead completed at %v, want 1110", doneAt)
+	}
+}
+
+func TestTransferGatherCheaperThanSeparateTransfers(t *testing.T) {
+	run := func(gather bool) sim.Time {
+		eng := sim.NewEngine(1)
+		b := New(eng, DefaultConfig())
+		var doneAt sim.Time
+		done := func() { doneAt = eng.Now() }
+		if gather {
+			b.TransferGather("nic", MainMemory, []int{1500, 1500, 1500, 1500}, done)
+		} else {
+			for i := 0; i < 4; i++ {
+				b.Transfer("nic", MainMemory, 1500, done)
+			}
+		}
+		eng.RunAll()
+		return doneAt
+	}
+	if g, s := run(true), run(false); g >= s {
+		t.Fatalf("gather (%v) not cheaper than 4 separate transfers (%v)", g, s)
+	}
+}
+
+func TestTransferGatherPanicsOnBadInput(t *testing.T) {
+	_, b := testBus(true)
+	for _, sizes := range [][]int{nil, {}, {10, -1}} {
+		sizes := sizes
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("gather %v did not panic", sizes)
+				}
+			}()
+			b.TransferGather("nic", MainMemory, sizes, nil)
+		}()
+	}
+}

@@ -56,6 +56,19 @@ type Config struct {
 	ZeroCopyWrite bool // DIRECT_WRITE: no staging copy at the sender
 	RingEntries   int  // per-direction descriptor ring depth
 	MaxMessage    int  // largest payload; sizes ring buffers
+
+	// Batch is the maximum number of descriptor completions aggregated into
+	// ONE bus transaction and ONE receiver notification. Values ≤ 1 deliver
+	// per message (the classic path); larger values amortize the
+	// per-message host overhead — syscall entry, bus arbitration, interrupt,
+	// handler dispatch — across the batch. New clamps Batch to RingEntries,
+	// since no more descriptors than that can ever be outstanding.
+	Batch int
+	// Coalesce bounds how long the first message of a partial batch may wait
+	// on the virtual clock before the batch is flushed anyway. Zero flushes
+	// at the end of the current instant: same-instant writes still aggregate
+	// with no added latency. Only meaningful when Batch > 1.
+	Coalesce sim.Time
 }
 
 // DefaultConfig is a reliable, zero-copy, sequential unicast channel — the
@@ -98,10 +111,45 @@ type Stats struct {
 	Dropped   uint64 // unreliable overruns
 	Queued    uint64 // reliable sends that waited for a descriptor
 	Bytes     uint64
+
+	// Interrupts counts receiver notifications raised for handler dispatch:
+	// host interrupts and device doorbells. Poll-mode (inbox) deliveries and
+	// host→host calls raise none. With batching, one notification can retire
+	// a whole batch, so Interrupts ≪ Delivered is the amortization working.
+	Interrupts uint64
+	// Batches counts batched flushes (each moving ≥ 1 message as one bus
+	// transaction); per-message immediate deliveries count none.
+	Batches uint64
+	// CoalesceFlushes is the subset of Batches flushed by the Coalesce
+	// timer rather than by filling up — partial batches paying the latency
+	// bound instead of waiting for load.
+	CoalesceFlushes uint64
+	// SGWrites / SGFragments count scatter-gather sends (WriteV with ≥ 2
+	// fragments) and the fragments they gathered into single DMAs.
+	SGWrites    uint64
+	SGFragments uint64
+	// Undelivered counts reliable sends accepted by Write but discarded by
+	// Close before delivery: descriptor-starved queued sends plus batched
+	// messages still waiting for a flush.
+	Undelivered uint64
 }
 
 // Handler consumes a delivered payload.
 type Handler func(data []byte)
+
+// message is one queued payload; sizes is non-nil for scatter-gather sends
+// and records the original fragment lengths so the wire can gather them.
+type message struct {
+	data  []byte
+	sizes []int
+}
+
+func (m *message) fragSizes() []int {
+	if m.sizes == nil {
+		return []int{len(m.data)}
+	}
+	return m.sizes
+}
 
 // Endpoint is one end of a channel.
 type Endpoint struct {
@@ -124,6 +172,11 @@ type Endpoint struct {
 	seqFns    []func() // sequential dispatch backlog
 	dispatchB bool     // a sequential dispatch is running
 	closed    bool
+
+	// Batching state: messages credited but not yet flushed, plus the
+	// coalescing timer armed when the first of them arrived.
+	batchMsgs  []*message
+	batchTimer *sim.Event
 }
 
 // Name identifies the endpoint for diagnostics.
@@ -158,6 +211,12 @@ func New(eng *sim.Engine, b *bus.Bus, cfg Config, creator *Endpoint) (*Channel, 
 	}
 	if cfg.MaxMessage <= 0 {
 		return nil, fmt.Errorf("channel: MaxMessage must be positive")
+	}
+	if cfg.Batch > cfg.RingEntries {
+		cfg.Batch = cfg.RingEntries // no more descriptors can be outstanding
+	}
+	if cfg.Coalesce < 0 {
+		cfg.Coalesce = 0
 	}
 	ch := &Channel{eng: eng, b: b, cfg: cfg, creator: creator}
 	ch.credits[0] = cfg.RingEntries
@@ -212,15 +271,36 @@ func (c *Channel) Connect(peer *Endpoint) error {
 	return nil
 }
 
-// Close tears the channel down; further sends fail.
+// Close tears the channel down; further sends fail. Reliable sends that
+// were accepted but not yet delivered — descriptor-starved queued sends and
+// batched messages awaiting a flush — are surfaced in Stats.Undelivered
+// rather than vanishing, and every host-side ring buffer is returned to its
+// machine's memory accounting (channel churn must not leak pinned memory).
 func (c *Channel) Close() {
-	c.closed = true
-	c.creator.closed = true
-	for _, p := range c.peers {
-		p.closed = true
+	if c.closed {
+		return
 	}
+	c.closed = true
+	c.stats.Undelivered += uint64(len(c.pending[0]) + len(c.pending[1]))
 	c.pending[0] = nil
 	c.pending[1] = nil
+	for _, e := range append([]*Endpoint{c.creator}, c.peers...) {
+		e.closed = true
+		c.stats.Undelivered += uint64(len(e.batchMsgs))
+		e.batchMsgs = nil
+		if e.batchTimer != nil {
+			e.batchTimer.Cancel()
+			e.batchTimer = nil
+		}
+		e.freeRing()
+	}
+}
+
+func (e *Endpoint) freeRing() {
+	if e.host != nil && e.ringBuf != 0 {
+		e.host.Free(e.ringBuf, e.ringSize)
+		e.ringBuf, e.ringSize = 0, 0
+	}
 }
 
 // InstallCallHandler registers the callback "invoked by the runtime
@@ -245,6 +325,28 @@ func (e *Endpoint) Read() ([]byte, bool) {
 // peer→creator. Reliable channels queue when the ring is full; unreliable
 // channels drop and count it.
 func (e *Endpoint) Write(payload []byte) error {
+	return e.write(&message{data: append([]byte(nil), payload...)})
+}
+
+// WriteV sends a scatter-gather message: the fragments occupy ONE ring
+// descriptor, ride ONE DMA (a gather over the fragment list), and arrive at
+// the receiver as the concatenated payload. The total size is bounded by
+// MaxMessage like any other message. A single fragment is an ordinary Write.
+func (e *Endpoint) WriteV(fragments ...[]byte) error {
+	msg := &message{}
+	if len(fragments) > 1 {
+		msg.sizes = make([]int, len(fragments))
+	}
+	for i, f := range fragments {
+		msg.data = append(msg.data, f...)
+		if msg.sizes != nil {
+			msg.sizes[i] = len(f)
+		}
+	}
+	return e.write(msg)
+}
+
+func (e *Endpoint) write(msg *message) error {
 	c := e.ch
 	if c == nil {
 		return ErrNoPeer
@@ -252,23 +354,18 @@ func (e *Endpoint) Write(payload []byte) error {
 	if c.closed || e.closed {
 		return ErrClosed
 	}
-	if len(payload) > c.cfg.MaxMessage {
+	if len(msg.data) > c.cfg.MaxMessage {
 		return ErrTooLarge
 	}
 	dir := 0
-	var dests []*Endpoint
 	if e == c.creator {
 		if len(c.peers) == 0 {
 			return ErrNoPeer
 		}
-		dests = c.peers
 	} else {
 		dir = 1
-		dests = []*Endpoint{c.creator}
 	}
-
-	data := append([]byte(nil), payload...)
-	send := func() { c.transmit(e, dests, dir, data) }
+	send := func() { c.dispatchSend(e, dir, msg) }
 
 	if c.credits[dir] <= 0 {
 		if !c.cfg.Reliable {
@@ -284,102 +381,221 @@ func (e *Endpoint) Write(payload []byte) error {
 	return nil
 }
 
-// transmit models the sender-side cost, the wire, and receiver dispatch.
-func (c *Channel) transmit(src *Endpoint, dests []*Endpoint, dir int, data []byte) {
-	c.stats.Sent++
-	c.stats.Bytes += uint64(len(data))
+// dispatchSend routes one credited message: straight to the wire on a
+// per-message channel, or into the sender's batch accumulator when batching
+// is on.
+func (c *Channel) dispatchSend(src *Endpoint, dir int, msg *message) {
+	if c.cfg.Batch > 1 {
+		c.enqueueBatch(src, dir, msg)
+		return
+	}
+	c.transmit(src, dir, []*message{msg})
+}
+
+// enqueueBatch accumulates a credited message and flushes when the batch
+// fills; the first message of a fresh batch arms the coalescing timer so a
+// partial batch waits at most Coalesce before going out anyway.
+func (c *Channel) enqueueBatch(src *Endpoint, dir int, msg *message) {
+	src.batchMsgs = append(src.batchMsgs, msg)
+	if len(src.batchMsgs) >= c.cfg.Batch {
+		c.flushBatch(src, dir, false)
+		return
+	}
+	if len(src.batchMsgs) == 1 {
+		src.batchTimer = c.eng.Schedule(c.cfg.Coalesce, func() {
+			src.batchTimer = nil
+			c.flushBatch(src, dir, true)
+		})
+	}
+}
+
+// flushBatch sends everything accumulated at src as one transfer.
+func (c *Channel) flushBatch(src *Endpoint, dir int, coalesced bool) {
+	if src.batchTimer != nil {
+		src.batchTimer.Cancel()
+		src.batchTimer = nil
+	}
+	msgs := src.batchMsgs
+	src.batchMsgs = nil
+	if len(msgs) == 0 || c.closed {
+		return
+	}
+	c.stats.Batches++
+	if coalesced {
+		c.stats.CoalesceFlushes++
+	}
+	c.transmit(src, dir, msgs)
+}
+
+// transmit models the sender-side cost, the wire, and receiver dispatch for
+// a group of messages moving as one transfer. A single message is the
+// classic per-message path; larger groups pay one syscall/doorbell, one bus
+// transaction per destination, and one receiver notification, with only an
+// incremental per-descriptor cost for each extra message.
+func (c *Channel) transmit(src *Endpoint, dir int, msgs []*message) {
+	var dests []*Endpoint
+	if src == c.creator {
+		dests = c.peers
+	} else {
+		dests = []*Endpoint{c.creator}
+	}
+	n := len(msgs)
+	if len(dests) == 0 || n == 0 {
+		return
+	}
+	total := 0
+	var sizes []int
+	for _, m := range msgs {
+		total += len(m.data)
+		sizes = append(sizes, m.fragSizes()...)
+		if m.sizes != nil {
+			// Scatter-gather accounting happens here, when the fragments
+			// actually ride a DMA — dropped or never-flushed sends count none.
+			c.stats.SGWrites++
+			c.stats.SGFragments += uint64(len(m.sizes))
+		}
+	}
+	c.stats.Sent += uint64(n)
+	c.stats.Bytes += uint64(total)
 
 	afterPrep := func() {
 		remaining := len(dests)
 		for _, dst := range dests {
 			dst := dst
-			c.wire(src, dst, len(data), func() {
-				c.deliver(dst, dir, data, func() {
+			// Multicast destinations each get private payload copies: a
+			// handler that mutates its message must never corrupt what a
+			// sibling receiver observes.
+			batch := msgs
+			if len(dests) > 1 {
+				batch = make([]*message, n)
+				for i, m := range msgs {
+					batch[i] = &message{data: append([]byte(nil), m.data...), sizes: m.sizes}
+				}
+			}
+			c.wire(src, dst, sizes, total, func() {
+				c.deliver(dst, batch, func() {
 					remaining--
 					if remaining == 0 {
-						c.releaseCredit(dir)
+						for i := 0; i < n; i++ {
+							c.releaseCredit(dir)
+						}
 					}
 				})
 			})
 		}
 	}
 
-	// Sender-side preparation.
+	// Sender-side preparation: one kernel entry / firmware dispatch posts
+	// the whole group; descriptors beyond the first cost only their post.
 	switch {
 	case src.host != nil:
-		cycles := uint64(1500) // syscall + descriptor post
+		cycles := uint64(1500) + 300*uint64(n-1) // syscall + descriptor posts
 		if !c.cfg.ZeroCopyWrite {
 			// Staging copy user→kernel: walks the cache, costs cycles.
 			srcAddr := src.host.Alloc(0) // current bump point as a proxy
-			src.task.Copy(cache.Kernel, srcAddr, src.ringBuf, len(data), nil)
-			cycles += src.host.CopyCycles(len(data))
+			src.task.Copy(cache.Kernel, srcAddr, src.ringBuf, total, nil)
+			cycles += src.host.CopyCycles(total)
 		}
 		src.task.Syscall(cycles, afterPrep)
 	case src.dev != nil:
-		src.dev.Exec(500, afterPrep)
+		src.dev.Exec(500+100*uint64(n-1), afterPrep)
 	default:
 		afterPrep()
 	}
 }
 
-// wire moves the payload between execution domains.
-func (c *Channel) wire(src, dst *Endpoint, size int, done func()) {
+// wire moves the payload between execution domains. Multi-segment groups —
+// batches and scatter-gather messages — ride one gather DMA; a single
+// segment is a plain transfer.
+func (c *Channel) wire(src, dst *Endpoint, sizes []int, total int, done func()) {
+	if len(sizes) > 1 {
+		switch {
+		case src.host != nil && dst.dev != nil:
+			dst.dev.DMAFromHostGather(src.ringBuf, sizes, done)
+		case src.dev != nil && dst.host != nil:
+			src.dev.DMAToHostGather(dst.ringBuf, sizes, done)
+		case src.dev != nil && dst.dev != nil:
+			src.dev.DMAToPeerGather(dst.dev, sizes, done)
+		default:
+			// host→host: one in-memory copy, no bus.
+			src.task.Copy(cache.Kernel, src.ringBuf, dst.ringBuf, total, done)
+		}
+		return
+	}
 	switch {
 	case src.host != nil && dst.dev != nil:
 		// Device pulls from pinned host memory.
-		dst.dev.DMAFromHost(src.ringBuf, size, done)
+		dst.dev.DMAFromHost(src.ringBuf, total, done)
 	case src.dev != nil && dst.host != nil:
 		// Device pushes into the host ring; lines are invalidated.
-		src.dev.DMAToHost(dst.ringBuf, size, done)
+		src.dev.DMAToHost(dst.ringBuf, total, done)
 	case src.dev != nil && dst.dev != nil:
-		src.dev.DMAToPeer(dst.dev, size, done)
+		src.dev.DMAToPeer(dst.dev, total, done)
 	default:
 		// host→host: one in-memory copy, no bus.
-		src.task.Copy(cache.Kernel, src.ringBuf, dst.ringBuf, size, done)
+		src.task.Copy(cache.Kernel, src.ringBuf, dst.ringBuf, total, done)
 	}
 }
 
-// deliver dispatches at the receiver and recycles the descriptor.
-func (c *Channel) deliver(dst *Endpoint, dir int, data []byte, done func()) {
+// deliver dispatches a delivered group at the receiver and recycles its
+// descriptors. One notification — host interrupt or device doorbell —
+// retires the whole group; each message still gets its own handler
+// invocation, in order.
+func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
+	n := len(msgs)
+	discarded := false
 	finish := func() {
-		c.stats.Delivered++
+		if discarded {
+			// The destination closed while the group was on the wire: the
+			// messages were never handed to a handler or inbox, so they are
+			// undelivered, not delivered.
+			c.stats.Undelivered += uint64(n)
+		} else {
+			c.stats.Delivered += uint64(n)
+		}
 		done()
 	}
 	run := func(complete func()) {
 		if dst.closed {
+			discarded = true
 			complete()
 			return
 		}
 		if dst.handler == nil {
-			dst.inbox = append(dst.inbox, data)
+			for _, m := range msgs {
+				dst.inbox = append(dst.inbox, m.data)
+			}
 			complete()
 			return
 		}
+		total := 0
+		for _, m := range msgs {
+			total += len(m.data)
+		}
+		invoke := func() {
+			for _, m := range msgs {
+				dst.handler(m.data)
+			}
+			complete()
+		}
 		switch {
 		case dst.host != nil:
-			// Interrupt, then handler context.
+			// One interrupt, then one kernel entry dispatching the group.
+			c.stats.Interrupts++
 			dst.host.Interrupt(dst.name, 600, func() {
-				cycles := uint64(2000)
+				cycles := uint64(2000) + 500*uint64(n-1)
+				// Zero copy still reads the DMA-ed payload once.
+				dst.task.TouchRange(cache.Kernel, dst.ringBuf, total)
 				if !c.cfg.ZeroCopyRead {
-					dst.task.TouchRange(cache.Kernel, dst.ringBuf, len(data))
-					cycles += dst.host.CopyCycles(len(data))
-				} else {
-					// Zero copy still reads the DMA-ed payload once.
-					dst.task.TouchRange(cache.Kernel, dst.ringBuf, len(data))
+					cycles += dst.host.CopyCycles(total)
 				}
-				dst.task.Syscall(cycles, func() {
-					dst.handler(data)
-					complete()
-				})
+				dst.task.Syscall(cycles, invoke)
 			})
 		case dst.dev != nil:
-			dst.dev.Exec(800, func() {
-				dst.handler(data)
-				complete()
-			})
+			c.stats.Interrupts++
+			dst.dev.Exec(800+200*uint64(n-1), invoke)
 		default:
-			dst.handler(data)
-			complete()
+			invoke()
 		}
 	}
 

@@ -307,15 +307,390 @@ func TestZeroCopyFasterThanStaged(t *testing.T) {
 	}
 }
 
+// --- Batching and interrupt coalescing ---
+
+func TestBatchAggregatesInterruptsAndBusTransactions(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Batch = 4
+	ch, app, oc := r.hostToDev(t, cfg)
+	var got []byte
+	app.InstallCallHandler(func(d []byte) { got = append(got, d[0]) })
+	txBefore := r.b.Total().Transactions
+	for i := 0; i < 8; i++ {
+		if err := oc.Write([]byte{byte(i)}); err != nil { // device→host
+			t.Fatal(err)
+		}
+	}
+	r.eng.RunAll()
+	if len(got) != 8 {
+		t.Fatalf("delivered %d of 8", len(got))
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("order broken at %d: %v", i, got)
+		}
+	}
+	st := ch.Stats()
+	if st.Batches != 2 || st.Interrupts != 2 {
+		t.Fatalf("8 msgs at batch 4: batches=%d interrupts=%d, want 2/2", st.Batches, st.Interrupts)
+	}
+	if st.CoalesceFlushes != 0 {
+		t.Fatalf("full batches flushed by timer: %+v", st)
+	}
+	if tx := r.b.Total().Transactions - txBefore; tx != 2 {
+		t.Fatalf("bus transactions = %d, want 2", tx)
+	}
+	if r.host.Interrupts() != 2 {
+		t.Fatalf("host interrupts = %d, want 2", r.host.Interrupts())
+	}
+}
+
+func TestCoalesceTimerFlushesPartialBatch(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Batch = 8
+	cfg.Coalesce = 100 * sim.Microsecond
+	ch, app, oc := r.hostToDev(t, cfg)
+	count := 0
+	var deliveredAt sim.Time
+	app.InstallCallHandler(func([]byte) { count++; deliveredAt = r.eng.Now() })
+	for i := 0; i < 3; i++ {
+		if err := oc.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.RunAll()
+	if count != 3 {
+		t.Fatalf("delivered %d of 3", count)
+	}
+	st := ch.Stats()
+	if st.Batches != 1 || st.CoalesceFlushes != 1 || st.Interrupts != 1 {
+		t.Fatalf("partial batch accounting: %+v", st)
+	}
+	if deliveredAt < cfg.Coalesce {
+		t.Fatalf("partial batch delivered at %v, before the %v coalescing bound", deliveredAt, cfg.Coalesce)
+	}
+}
+
+func TestZeroCoalesceAggregatesSameInstantWrites(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Batch = 16
+	cfg.Coalesce = 0
+	ch, app, oc := r.hostToDev(t, cfg)
+	count := 0
+	app.InstallCallHandler(func([]byte) { count++ })
+	// Two bursts at distinct instants: each must flush as its own batch at
+	// the end of its instant, not wait for a full ring of 16.
+	for i := 0; i < 3; i++ {
+		oc.Write([]byte{1})
+	}
+	r.eng.At(1*sim.Millisecond, func() {
+		for i := 0; i < 5; i++ {
+			oc.Write([]byte{2})
+		}
+	})
+	r.eng.RunAll()
+	if count != 8 {
+		t.Fatalf("delivered %d of 8", count)
+	}
+	st := ch.Stats()
+	if st.Batches != 2 || st.Interrupts != 2 {
+		t.Fatalf("two same-instant bursts should make two batches: %+v", st)
+	}
+}
+
+// Batching must cut the per-message host cost at identical message volume:
+// fewer interrupts, fewer bus transactions, less host busy time.
+func TestBatchingCutsHostCostPerMessage(t *testing.T) {
+	run := func(batch int) (sim.Time, uint64, uint64) {
+		r := newRig()
+		cfg := DefaultConfig()
+		cfg.Batch = batch
+		cfg.Coalesce = 200 * sim.Microsecond
+		ch, app, oc := r.hostToDev(t, cfg)
+		count := 0
+		app.InstallCallHandler(func([]byte) { count++ })
+		for i := 0; i < 200; i++ {
+			at := sim.Time(i) * 20 * sim.Microsecond
+			r.eng.At(at, func() { oc.Write(make([]byte, 1024)) })
+		}
+		r.eng.RunAll()
+		if count != 200 {
+			t.Fatalf("batch %d delivered %d of 200", batch, count)
+		}
+		return r.host.BusyTime(), ch.Stats().Interrupts, r.b.Total().Transactions
+	}
+	busy1, irq1, tx1 := run(1)
+	busy16, irq16, tx16 := run(16)
+	if irq16 >= irq1/4 {
+		t.Fatalf("interrupts: batch16 %d not ≪ per-message %d", irq16, irq1)
+	}
+	if tx16 >= tx1/4 {
+		t.Fatalf("bus transactions: batch16 %d not ≪ per-message %d", tx16, tx1)
+	}
+	if busy16 >= busy1 {
+		t.Fatalf("host busy: batch16 %v not below per-message %v", busy16, busy1)
+	}
+}
+
+// Reliable pending sends must drain FIFO across credit exhaustion and
+// recycling, interleaved with fresh writes — with and without batching.
+func TestPendingDrainsFIFOAcrossCreditRecycle(t *testing.T) {
+	for _, batch := range []int{0, 2} {
+		r := newRig()
+		cfg := DefaultConfig()
+		cfg.RingEntries = 2
+		cfg.Batch = batch
+		cfg.Coalesce = 10 * sim.Microsecond
+		_, app, oc := r.hostToDev(t, cfg)
+		var got []byte
+		oc.InstallCallHandler(func(d []byte) { got = append(got, d[0]) })
+		// First burst exhausts the ring and queues; a later burst arrives
+		// while recycled credits are re-feeding the pending queue.
+		for i := 0; i < 6; i++ {
+			app.Write([]byte{byte(i)})
+		}
+		r.eng.At(40*sim.Microsecond, func() {
+			for i := 6; i < 12; i++ {
+				app.Write([]byte{byte(i)})
+			}
+		})
+		r.eng.RunAll()
+		if len(got) != 12 {
+			t.Fatalf("batch=%d delivered %d of 12", batch, len(got))
+		}
+		for i, v := range got {
+			if v != byte(i) {
+				t.Fatalf("batch=%d FIFO broken at %d: %v", batch, i, got)
+			}
+		}
+	}
+}
+
+// --- Scatter-gather writes ---
+
+func TestWriteVGathersFragmentsIntoOneDMA(t *testing.T) {
+	r := newRig()
+	ch, _, oc := r.hostToDev(t, DefaultConfig())
+	app := ch.Creator()
+	var got []byte
+	oc.InstallCallHandler(func(d []byte) { got = d })
+	txBefore := r.b.Total().Transactions
+	if err := app.WriteV([]byte("head|"), []byte("body|"), []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	if string(got) != "head|body|tail" {
+		t.Fatalf("got %q", got)
+	}
+	st := ch.Stats()
+	if st.SGWrites != 1 || st.SGFragments != 3 {
+		t.Fatalf("SG accounting: %+v", st)
+	}
+	if st.Sent != 1 || st.Delivered != 1 {
+		t.Fatalf("a gather is one message: %+v", st)
+	}
+	if tx := r.b.Total().Transactions - txBefore; tx != 1 {
+		t.Fatalf("bus transactions = %d, want 1 gather", tx)
+	}
+	if segs := r.b.Total().GatherSegments; segs != 3 {
+		t.Fatalf("gather segments = %d, want 3", segs)
+	}
+}
+
+func TestWriteVSingleFragmentIsPlainWrite(t *testing.T) {
+	r := newRig()
+	ch, app, oc := r.hostToDev(t, DefaultConfig())
+	var got []byte
+	oc.InstallCallHandler(func(d []byte) { got = d })
+	if err := app.WriteV([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	if string(got) != "solo" {
+		t.Fatalf("got %q", got)
+	}
+	st := ch.Stats()
+	if st.SGWrites != 0 || r.b.Total().GatherSegments != 0 {
+		t.Fatalf("single fragment should not count as scatter-gather: %+v", st)
+	}
+}
+
+// Scatter-gather accounting counts only messages that actually ride a DMA:
+// unreliable drops under descriptor exhaustion must not inflate SGWrites.
+func TestWriteVDroppedDoesNotCountAsGathered(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Reliable = false
+	cfg.RingEntries = 1
+	ch, app, oc := r.hostToDev(t, cfg)
+	oc.InstallCallHandler(func([]byte) {})
+	for i := 0; i < 5; i++ {
+		if err := app.WriteV([]byte("a"), []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.RunAll()
+	st := ch.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("expected descriptor exhaustion to drop")
+	}
+	if st.SGWrites != st.Sent || st.SGFragments != 2*st.Sent {
+		t.Fatalf("SG accounting counts drops: sent=%d dropped=%d sg=%d frags=%d",
+			st.Sent, st.Dropped, st.SGWrites, st.SGFragments)
+	}
+}
+
+func TestWriteVRespectsMaxMessage(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.MaxMessage = 8
+	_, app, _ := r.hostToDev(t, cfg)
+	if err := app.WriteV(make([]byte, 5), make([]byte, 5)); err != ErrTooLarge {
+		t.Fatalf("oversize gather err = %v", err)
+	}
+}
+
+// --- Channel lifecycle regressions ---
+
+// Regression: Close must free the modeled host ring memory, so channel
+// churn (failover redeploys) cannot leak pinned memory.
+func TestCloseFreesRingMemory(t *testing.T) {
+	r := newRig()
+	base := r.host.LiveBytes()
+	for i := 0; i < 50; i++ {
+		app := HostEndpoint(r.host, "app")
+		ch, err := New(r.eng, r.b, DefaultConfig(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.Connect(DeviceEndpoint(r.nic, "oc")); err != nil {
+			t.Fatal(err)
+		}
+		if r.host.LiveBytes() <= base {
+			t.Fatal("ring allocation not accounted")
+		}
+		ch.Close()
+	}
+	if live := r.host.LiveBytes(); live != base {
+		t.Fatalf("channel churn leaked %d bytes of modeled host memory", live-base)
+	}
+}
+
+// Regression: queued-but-undelivered reliable sends must be surfaced in
+// Stats on Close, not silently discarded.
+func TestCloseSurfacesUndeliveredSends(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.RingEntries = 1
+	ch, app, oc := r.hostToDev(t, cfg)
+	oc.InstallCallHandler(func([]byte) {})
+	for i := 0; i < 5; i++ {
+		app.Write([]byte{byte(i)}) // 1 in flight, 4 queued for descriptors
+	}
+	ch.Close()
+	if st := ch.Stats(); st.Undelivered != 4 {
+		t.Fatalf("Undelivered = %d, want 4: %+v", st.Undelivered, st)
+	}
+	r.eng.RunAll() // the in-flight transfer drains without panicking
+	// The message that was on the wire at Close reached a closed endpoint:
+	// it counts as undelivered too, never as delivered.
+	st := ch.Stats()
+	if st.Undelivered != 5 || st.Delivered != 0 {
+		t.Fatalf("after drain: undelivered=%d delivered=%d, want 5/0", st.Undelivered, st.Delivered)
+	}
+}
+
+func TestCloseSurfacesBatchedUndelivered(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Batch = 8
+	cfg.Coalesce = sim.Millisecond
+	ch, app, oc := r.hostToDev(t, cfg)
+	oc.InstallCallHandler(func([]byte) {})
+	app.Write([]byte{1})
+	app.Write([]byte{2}) // both credited, waiting in the batch accumulator
+	ch.Close()
+	if st := ch.Stats(); st.Undelivered != 2 {
+		t.Fatalf("Undelivered = %d, want 2 batched messages: %+v", st.Undelivered, st)
+	}
+	r.eng.RunAll() // canceled coalesce timer must not fire
+	if st := ch.Stats(); st.Delivered != 0 {
+		t.Fatalf("closed channel delivered: %+v", st)
+	}
+}
+
+// Regression: multicast must hand each destination its own payload — a
+// handler that mutates its message must not corrupt sibling receivers.
+func TestMulticastDestinationsDoNotAliasPayload(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Multicast = true
+	app := HostEndpoint(r.host, "app")
+	ch, err := New(r.eng, r.b, cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := DeviceEndpoint(r.nic, "a")
+	b := DeviceEndpoint(r.gpu, "b")
+	ch.Connect(a)
+	ch.Connect(b)
+	var sawA, sawB byte
+	a.InstallCallHandler(func(d []byte) {
+		sawA = d[0]
+		d[0] = 99 // destructive consumer
+	})
+	b.InstallCallHandler(func(d []byte) { sawB = d[0] })
+	if err := app.Write([]byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	if sawA != 7 || sawB != 7 {
+		t.Fatalf("multicast payload aliased across destinations: a=%d b=%d", sawA, sawB)
+	}
+}
+
+func TestMulticastBatchedDoesNotAlias(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Multicast = true
+	cfg.Batch = 2
+	app := HostEndpoint(r.host, "app")
+	ch, err := New(r.eng, r.b, cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := DeviceEndpoint(r.nic, "a")
+	b := DeviceEndpoint(r.gpu, "b")
+	ch.Connect(a)
+	ch.Connect(b)
+	var sawA, sawB []byte
+	a.InstallCallHandler(func(d []byte) {
+		sawA = append(sawA, d[0])
+		d[0] = 99
+	})
+	b.InstallCallHandler(func(d []byte) { sawB = append(sawB, d[0]) })
+	app.Write([]byte{1})
+	app.Write([]byte{2})
+	r.eng.RunAll()
+	if len(sawA) != 2 || len(sawB) != 2 || sawB[0] != 1 || sawB[1] != 2 {
+		t.Fatalf("batched multicast aliased: a=%v b=%v", sawA, sawB)
+	}
+}
+
 // Property: with a reliable channel, every write is eventually delivered in
 // order, for arbitrary message counts and ring sizes.
 func TestReliableDeliveryProperty(t *testing.T) {
-	prop := func(nMsgs, ring uint8) bool {
+	prop := func(nMsgs, ring, batch uint8) bool {
 		n := int(nMsgs)%40 + 1
 		rentries := int(ring)%8 + 1
 		r := newRig()
 		cfg := DefaultConfig()
 		cfg.RingEntries = rentries
+		cfg.Batch = int(batch) % 5 // 0–1 immediate, 2–4 batched
+		cfg.Coalesce = 50 * sim.Microsecond
 		_, app, oc := r.hostToDev(t, cfg)
 		var got []byte
 		oc.InstallCallHandler(func(d []byte) { got = append(got, d[0]) })

@@ -62,10 +62,15 @@ type Recovery struct {
 	// DetectedAt is when the monitor declared the device failed.
 	DetectedAt sim.Time
 	// MigrationStart / MigrationEnd bracket the stop → re-layout →
-	// redeploy → restore sequence. MigrationEnd is zero while migration is
-	// still in flight.
+	// redeploy → restore sequence. MigrationEnd is meaningful only once
+	// Complete reports true: a migration can legitimately finish at virtual
+	// time zero, so the timestamp itself is not an in-flight sentinel.
 	MigrationStart sim.Time
 	MigrationEnd   sim.Time
+
+	// done records completion explicitly (set by the failover finisher and
+	// by abortMigration).
+	done bool
 	// Stopped lists the Offcodes stopped, in stop order (reverse
 	// instantiation order).
 	Stopped []string
@@ -78,7 +83,7 @@ type Recovery struct {
 }
 
 // Complete reports whether the migration finished.
-func (r *Recovery) Complete() bool { return r.MigrationEnd != 0 }
+func (r *Recovery) Complete() bool { return r.done }
 
 // MigrationTime reports how long the migration took (zero while in flight).
 func (r *Recovery) MigrationTime() sim.Time {
@@ -210,6 +215,7 @@ func (rt *Runtime) failover(failed *device.Device, detected sim.Time, done func(
 			rec.Err = err
 		}
 		rec.MigrationEnd = rt.eng.Now()
+		rec.done = true
 		rt.pendingRestore = nil
 		rt.migrating = false
 		rt.activeRec = nil
@@ -283,6 +289,7 @@ func (rt *Runtime) abortMigration(err error) {
 	if rec := rt.activeRec; rec != nil && !rec.Complete() {
 		rec.Err = err
 		rec.MigrationEnd = rt.eng.Now()
+		rec.done = true
 	}
 	rt.migrating = false
 	rt.activeRec = nil

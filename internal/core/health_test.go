@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -360,5 +361,46 @@ func TestStalledMigrationAbortedAndRetried(t *testing.T) {
 	// The checkpoint survived the aborted migration.
 	if got := h.Behaviour().(*ckptOffcode).state; len(got) != 1 || got[0] != 42 {
 		t.Fatalf("state after retried migration = %v, want [42]", got)
+	}
+}
+
+// Regression: a migration that legitimately completes at virtual time zero
+// must still report Complete. The old code used MigrationEnd != 0 as the
+// in-flight sentinel, so a t=0 recovery looked permanently in flight.
+func TestRecoveryCompleteAtTimeZero(t *testing.T) {
+	r := newRig(t, Config{})
+	if r.eng.Now() != 0 {
+		t.Fatal("engine not at time zero")
+	}
+	// No Offcodes are deployed, so the failover settles synchronously
+	// within the same (zeroth) instant.
+	rec := r.rt.failover(r.nic, 0, nil)
+	if rec.Err != nil {
+		t.Fatal(rec.Err)
+	}
+	if !rec.Complete() {
+		t.Fatalf("t=0 migration reported in flight: %+v", rec)
+	}
+	if rec.MigrationEnd != 0 || rec.MigrationTime() != 0 {
+		t.Fatalf("migration end %v, time %v; want both zero", rec.MigrationEnd, rec.MigrationTime())
+	}
+	if r.rt.migrating {
+		t.Fatal("runtime still thinks a migration is in flight")
+	}
+}
+
+// An in-flight recovery reports incomplete until the finisher runs, and an
+// aborted one reports complete with its error recorded.
+func TestRecoveryAbortMarksComplete(t *testing.T) {
+	r := newRig(t, Config{})
+	rec := &Recovery{MigrationStart: 5}
+	r.rt.activeRec = rec
+	r.rt.migrating = true
+	if rec.Complete() {
+		t.Fatal("fresh recovery already complete")
+	}
+	r.rt.abortMigration(fmt.Errorf("test abort"))
+	if !rec.Complete() || rec.Err == nil {
+		t.Fatalf("aborted recovery: complete=%v err=%v", rec.Complete(), rec.Err)
 	}
 }

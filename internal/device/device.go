@@ -459,6 +459,59 @@ func (d *Device) DMAFromHost(hostAddr uint64, size int, done func()) {
 	})
 }
 
+// DMAToHostGather writes several logically distinct payloads into host
+// memory at hostAddr as ONE gather transaction: a single bus crossing for
+// the summed bytes (plus per-segment descriptor fetches), then one host-side
+// cache invalidation of the whole landing range. This is how a batched
+// descriptor ring retires N completions per interrupt.
+func (d *Device) DMAToHostGather(hostAddr uint64, sizes []int, done func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	d.dmaBytesIn += uint64(total)
+	d.bsys.TransferGather(d.Agent(), bus.MainMemory, sizes, func() {
+		d.host.DMAWrite(hostAddr, total)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// DMAFromHostGather reads several payloads from host memory in one gather
+// transaction. Reads do not invalidate host cache lines.
+func (d *Device) DMAFromHostGather(hostAddr uint64, sizes []int, done func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	_ = hostAddr
+	d.dmaBytesOut += uint64(total)
+	d.bsys.TransferGather(bus.MainMemory, d.Agent(), sizes, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// DMAToPeerGather moves several payloads directly to another device in one
+// gather transaction (no host memory involvement).
+func (d *Device) DMAToPeerGather(peer *Device, sizes []int, done func()) {
+	if d.health != HealthOK {
+		d.droppedWork++
+		return
+	}
+	d.bsys.TransferGather(d.Agent(), peer.Agent(), sizes, done)
+}
+
 // DMAToPeer moves size bytes directly to another device (peer-to-peer bus
 // transaction, no host memory involvement) — the TiVoPC NIC→GPU/disk path.
 func (d *Device) DMAToPeer(peer *Device, size int, done func()) {

@@ -378,3 +378,70 @@ func TestStaleTimerDoesNotFireAfterRestore(t *testing.T) {
 		t.Fatal("timer armed by dead firmware fired after restore")
 	}
 }
+
+func TestDMAToHostGatherInvalidatesWholeRange(t *testing.T) {
+	eng, host, b, d := rig()
+	task := host.NewTask("t")
+	buf := host.Alloc(2048)
+	task.TouchRange(cache.Kernel, buf, 2048)
+	eng.RunAll()
+	host.L2().ResetStats()
+	txBefore := b.Total().Transactions
+
+	done := false
+	d.DMAToHostGather(buf, []int{1024, 512, 512}, func() { done = true })
+	eng.RunAll()
+	if !done {
+		t.Fatal("gather completion not called")
+	}
+	if tx := b.Total().Transactions - txBefore; tx != 1 {
+		t.Fatalf("gather used %d transactions, want 1", tx)
+	}
+	if segs := b.Total().GatherSegments; segs != 3 {
+		t.Fatalf("gather segments = %d, want 3", segs)
+	}
+	task.TouchRange(cache.Kernel, buf, 2048)
+	if got := host.L2().Stats(cache.Kernel).Misses; got != 32 {
+		t.Fatalf("misses after gather DMA = %d, want 32 (whole range invalidated)", got)
+	}
+	in, _ := d.DMAStats()
+	if in != 2048 {
+		t.Fatalf("gather bytes to host = %d", in)
+	}
+}
+
+func TestDMAFromHostGatherNoInvalidate(t *testing.T) {
+	eng, host, _, d := rig()
+	task := host.NewTask("t")
+	buf := host.Alloc(1024)
+	task.TouchRange(cache.Kernel, buf, 1024)
+	eng.RunAll()
+	host.L2().ResetStats()
+
+	d.DMAFromHostGather(buf, []int{512, 512}, nil)
+	eng.RunAll()
+	task.TouchRange(cache.Kernel, buf, 1024)
+	if got := host.L2().Stats(cache.Kernel).Misses; got != 0 {
+		t.Fatalf("gather read invalidated cache: %d misses", got)
+	}
+	_, out := d.DMAStats()
+	if out != 1024 {
+		t.Fatalf("gather bytes from host = %d", out)
+	}
+}
+
+func TestGatherDMADroppedWhenUnhealthy(t *testing.T) {
+	eng, host, _, d := rig()
+	buf := host.Alloc(1024)
+	d.Crash()
+	ran := false
+	d.DMAToHostGather(buf, []int{1024}, func() { ran = true })
+	d.DMAFromHostGather(buf, []int{1024}, func() { ran = true })
+	eng.RunAll()
+	if ran {
+		t.Fatal("dead device completed a gather DMA")
+	}
+	if d.DroppedWork() < 2 {
+		t.Fatalf("dropped work = %d, want ≥ 2", d.DroppedWork())
+	}
+}

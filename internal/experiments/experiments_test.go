@@ -232,6 +232,74 @@ func TestX6FailoverShape(t *testing.T) {
 	}
 }
 
+func TestX7SaturationShape(t *testing.T) {
+	res, err := RunSaturation(DefaultSeed, X7Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSaturationShape(res); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SaturationRow{}
+	for _, row := range res.Rows {
+		byName[row.Scenario] = row
+	}
+	perMsg := byName["per-message @50k/s"]
+	deep := byName["batch 32/500µs @50k/s"]
+	// The headline claims: coalescing cuts host cycles/message and
+	// simulator event volume hard at high rate, and pays in latency.
+	if deep.CyclesPerMsg >= perMsg.CyclesPerMsg/2 {
+		t.Fatalf("cycles/msg: batched %.0f not ≪ per-message %.0f", deep.CyclesPerMsg, perMsg.CyclesPerMsg)
+	}
+	if deep.MeanLatencyMS <= perMsg.MeanLatencyMS {
+		t.Fatalf("latency cost invisible: %.4f vs %.4f ms", deep.MeanLatencyMS, perMsg.MeanLatencyMS)
+	}
+	if deep.EventsFired >= perMsg.EventsFired {
+		t.Fatalf("event volume not reduced: %d vs %d", deep.EventsFired, perMsg.EventsFired)
+	}
+	rendered := res.Render()
+	for _, want := range []string{"X7", "per-message", "batch 32", "cycles/msg"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("render missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+// X7 obeys the determinism contract: repeats are bit-identical, and a
+// worker-pool sweep over the cells matches the serial loop exactly.
+func TestX7SaturationDeterministicAndSweepSafe(t *testing.T) {
+	const dur = sim.Second
+	a, err := RunSaturation(DefaultSeed, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSaturation(DefaultSeed, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fixed-seed X7 differs across repeats:\n%+v\nvs\n%+v", a, b)
+	}
+
+	seeds := []int64{DefaultSeed, DefaultSeed + 1, DefaultSeed + 2, DefaultSeed + 3}
+	run := func(workers int) []*SaturationRow {
+		rows, err := testbed.Sweep(testbed.SweepConfig{Seeds: seeds, Workers: workers},
+			func(r testbed.Replica) (*SaturationRow, error) {
+				return RunSaturationCell(r.Seed, dur, 20_000, 8, 100*sim.Microsecond)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial, parallel := run(1), run(4)
+	for i := range seeds {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("seed %d: serial %+v != parallel %+v", seeds[i], serial[i], parallel[i])
+		}
+	}
+}
+
 // X6 obeys the determinism contract: repeats are bit-identical, and the
 // scenario sweep gives the same results serial or parallel.
 func TestX6FailoverDeterministicAndSweepSafe(t *testing.T) {

@@ -68,6 +68,8 @@ type Machine struct {
 	busy        sim.Time // accumulated CPU busy time
 	kernelBusy  sim.Time // subset spent in kernel context
 	nextAddr    uint64   // bump allocator for synthetic addresses
+	allocBytes  uint64   // lifetime bytes handed out by Alloc
+	freedBytes  uint64   // lifetime bytes returned through Free
 	interrupts  uint64
 	switches    uint64
 	idleCycleRq uint64
@@ -120,8 +122,31 @@ func (m *Machine) Alloc(size int) uint64 {
 	m.nextAddr = (m.nextAddr + line - 1) &^ (line - 1)
 	a := m.nextAddr
 	m.nextAddr += uint64(size)
+	if size > 0 {
+		m.allocBytes += uint64(size)
+	}
 	return a
 }
+
+// Free returns size bytes at addr to the allocator's accounting. Addresses
+// are never reused (the bump allocator keeps address assignment — and hence
+// cache behaviour — deterministic), but the pinned-memory ledger must
+// balance: long-lived structures such as channel ring buffers alloc at
+// creation and free at close, and LiveBytes exposes what is still held.
+func (m *Machine) Free(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	_ = addr
+	m.freedBytes += uint64(size)
+}
+
+// AllocBytes reports lifetime bytes handed out by Alloc.
+func (m *Machine) AllocBytes() uint64 { return m.allocBytes }
+
+// LiveBytes reports modeled host memory currently held (Alloc minus Free).
+// Channel churn that leaks rings shows up here as monotonic growth.
+func (m *Machine) LiveBytes() int64 { return int64(m.allocBytes) - int64(m.freedBytes) }
 
 // DMAWrite models a device writing size bytes into host memory at addr:
 // the affected lines are invalidated in L2 (non-allocating DMA), so the next

@@ -249,3 +249,37 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatalf("runs differ: busy %v vs %v, rate %v vs %v", b1, b2, r1, r2)
 	}
 }
+
+func TestAllocFreeAccounting(t *testing.T) {
+	eng := sim.NewEngine(3)
+	m := New(eng, "host", PentiumIV())
+	if m.LiveBytes() != 0 || m.AllocBytes() != 0 {
+		t.Fatalf("fresh machine ledger: live=%d alloc=%d", m.LiveBytes(), m.AllocBytes())
+	}
+	a := m.Alloc(4096)
+	b := m.Alloc(1024)
+	if m.AllocBytes() != 5120 || m.LiveBytes() != 5120 {
+		t.Fatalf("after allocs: alloc=%d live=%d", m.AllocBytes(), m.LiveBytes())
+	}
+	// Zero-size allocs (bump-point probes) do not enter the ledger.
+	m.Alloc(0)
+	if m.AllocBytes() != 5120 {
+		t.Fatalf("zero-size alloc counted: %d", m.AllocBytes())
+	}
+	m.Free(a, 4096)
+	if m.LiveBytes() != 1024 {
+		t.Fatalf("after free: live=%d", m.LiveBytes())
+	}
+	m.Free(b, 1024)
+	if m.LiveBytes() != 0 {
+		t.Fatalf("ledger did not balance: live=%d", m.LiveBytes())
+	}
+	// Addresses are never reused: a later alloc is above both freed ones.
+	if c := m.Alloc(64); c <= b {
+		t.Fatalf("allocator reused address space: %#x <= %#x", c, b)
+	}
+	m.Free(0, 0) // no-op
+	if m.LiveBytes() != 64 {
+		t.Fatalf("zero-size free changed the ledger: %d", m.LiveBytes())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hydra/internal/bus"
+	"hydra/internal/channel"
 	"hydra/internal/core"
 	"hydra/internal/depot"
 	"hydra/internal/device"
@@ -29,6 +30,7 @@ type System struct {
 	devices  map[string]*device.Device
 	stations map[string]*netsim.Station
 	nas      map[string]*NASSystem
+	channels map[string]channel.Config
 }
 
 // HostSystem is one built host with everything attached to it.
@@ -85,6 +87,25 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 		devices:  make(map[string]*device.Device),
 		stations: make(map[string]*netsim.Station),
 		nas:      make(map[string]*NASSystem),
+		channels: make(map[string]channel.Config),
+	}
+
+	for _, cs := range spec.Channels {
+		if cs.Name == "" {
+			return nil, fmt.Errorf("testbed: %s declares an unnamed channel profile", label(spec))
+		}
+		if _, dup := sys.channels[cs.Name]; dup {
+			return nil, fmt.Errorf("testbed: duplicate channel profile %q", cs.Name)
+		}
+		cfg := cs.Config
+		def := channel.DefaultConfig()
+		if cfg.RingEntries == 0 {
+			cfg.RingEntries = def.RingEntries
+		}
+		if cfg.MaxMessage == 0 {
+			cfg.MaxMessage = def.MaxMessage
+		}
+		sys.channels[cs.Name] = cfg
 	}
 
 	needsNet := len(spec.Stations) > 0 || len(spec.NAS) > 0
@@ -223,6 +244,44 @@ func (sys *System) Bus(host string) *bus.Bus {
 		return h.Bus
 	}
 	return nil
+}
+
+// ChannelConfig returns the named channel profile's (defaulted) config.
+func (sys *System) ChannelConfig(name string) (channel.Config, bool) {
+	cfg, ok := sys.channels[name]
+	return cfg, ok
+}
+
+// OpenChannel instantiates the named channel profile between a host and a
+// device: the creator endpoint runs on the host (an OA-application side),
+// the peer endpoint on the device (the Offcode side). Returned in that
+// order alongside the channel itself.
+func (sys *System) OpenChannel(profile, host, dev string) (*channel.Channel, *channel.Endpoint, *channel.Endpoint, error) {
+	cfg, ok := sys.channels[profile]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("testbed: unknown channel profile %q", profile)
+	}
+	h := sys.hosts[host]
+	if h == nil {
+		return nil, nil, nil, fmt.Errorf("testbed: unknown host %q", host)
+	}
+	// Resolve the device on this host specifically: a channel rides the
+	// host's own bus, so a device attached elsewhere must be rejected, not
+	// silently wired across fabrics.
+	d := h.Device(dev)
+	if d == nil {
+		return nil, nil, nil, fmt.Errorf("testbed: host %q has no device %q", host, dev)
+	}
+	app := channel.HostEndpoint(h.Machine, profile+":"+host)
+	ch, err := channel.New(sys.Eng, h.Bus, cfg, app)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	oc := channel.DeviceEndpoint(d, profile+":"+dev)
+	if err := ch.Connect(oc); err != nil {
+		return nil, nil, nil, err
+	}
+	return ch, app, oc, nil
 }
 
 // Station returns the network station with the given name, or nil.

@@ -35,6 +35,7 @@ package testbed
 
 import (
 	"hydra/internal/bus"
+	"hydra/internal/channel"
 	"hydra/internal/core"
 	"hydra/internal/device"
 	"hydra/internal/faults"
@@ -68,6 +69,21 @@ type Spec struct {
 	// name and arms the schedule on a seed-derived injector, so fault
 	// histories are replica-private and bit-identical for a fixed seed.
 	Faults faults.Schedule
+	// Channels declares named channel configuration profiles — ring depth,
+	// zero-copy policy, batching and interrupt coalescing — so scenarios
+	// tune the host↔device hot path declaratively. Build validates the
+	// names; System.OpenChannel instantiates a profile between a host and
+	// one of its devices.
+	Channels []ChannelSpec
+}
+
+// ChannelSpec names one channel configuration profile on a Spec.
+type ChannelSpec struct {
+	// Name identifies the profile; must be unique and non-empty.
+	Name string
+	// Config is the channel configuration; zero RingEntries/MaxMessage are
+	// filled from channel.DefaultConfig.
+	Config channel.Config
 }
 
 // NetSpec configures the inter-host network.

@@ -54,7 +54,8 @@ func TestSmokeBinaries(t *testing.T) {
 
 	// Every main package must have produced a binary.
 	for _, name := range []string{
-		"cmd/hydra-bench", "cmd/layout-solve", "cmd/odflint", "cmd/tivopc",
+		"cmd/chan-saturate", "cmd/hydra-bench", "cmd/layout-solve", "cmd/odflint",
+		"cmd/tivopc",
 		"examples/layoutopt", "examples/packetfilter", "examples/quickstart",
 		"examples/storageindex", "examples/tivopc",
 	} {
@@ -110,6 +111,21 @@ func TestSmokeBinaries(t *testing.T) {
 			if !strings.Contains(out, want) {
 				t.Fatalf("failover output missing %q:\n%s", want, out)
 			}
+		}
+	})
+
+	t.Run("chan-saturate", func(t *testing.T) {
+		batched := runBinary(t, bin, "cmd/chan-saturate",
+			"-rate", "20000", "-batch", "16", "-coalesce", "200us", "-seconds", "0.5")
+		for _, want := range []string{"cycles/msg", "interrupts", "delivered"} {
+			if !strings.Contains(batched, want) {
+				t.Fatalf("chan-saturate output missing %q:\n%s", want, batched)
+			}
+		}
+		perMsg := runBinary(t, bin, "cmd/chan-saturate",
+			"-rate", "20000", "-batch", "1", "-seconds", "0.5")
+		if !strings.Contains(perMsg, "0 batches") {
+			t.Fatalf("per-message run should report no batches:\n%s", perMsg)
 		}
 	})
 

@@ -281,6 +281,28 @@ func BenchmarkX7Saturation(b *testing.B) {
 	}
 }
 
+func BenchmarkX8Contention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunContention(experiments.DefaultSeed, experiments.X8Duration)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckContentionShape(r); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				if row.Apps == 12 && !row.TightQuota && row.Resolver == 0 {
+					b.ReportMetric(float64(row.Admitted), "admitted")
+					b.ReportMetric(float64(row.Rejected), "rejected")
+					b.ReportMetric(float64(row.MinMsgs), "msgs-per-app")
+					b.ReportMetric(float64(row.ReclaimedHostBytes), "reclaimed-B")
+				}
+			}
+		}
+	}
+}
+
 // --- Framework microbenchmarks ---
 
 func BenchmarkChannelMessageHostToDevice(b *testing.B) {

@@ -11,9 +11,12 @@
 // pool. Per-seed results are bit-identical; only the wall clock differs.
 //
 // The -scenario flag runs a single experiment by name (e.g. -scenario
-// x6-failover), which makes iterating on one table cheap. CI archives
-// `-json -scenario x7-saturation` output as the per-commit channel hot-path
-// baseline (cycles/message, latency, interrupts, event volume).
+// x6-failover, or the alias x8 for x8-contention), which makes iterating
+// on one table cheap. CI archives `-json -scenario x7-saturation` output
+// as the per-commit channel hot-path baseline (cycles/message, latency,
+// interrupts, event volume) and `-json -scenario x8-contention` as the
+// multi-app contention baseline (admissions, quota denials, per-app
+// throughput, teardown reclamation).
 //
 // Usage:
 //
@@ -53,8 +56,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	sweepN := flag.Int("sweep", 8, "jitter-sweep replicas (0 disables the sweep scenario)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-	scenario := flag.String("scenario", "", "run only the named scenario (e.g. x6-failover)")
+	scenario := flag.String("scenario", "", "run only the named scenario (e.g. x6-failover, x8)")
 	flag.Parse()
+	if *scenario == "x8" { // short alias for the contention sweep
+		*scenario = "x8-contention"
+	}
 
 	duration := experiments.DefaultDuration
 	if *quick {
@@ -215,6 +221,27 @@ func main() {
 			m[key+"_events"] = float64(row.EventsFired)
 		}
 		return m, sat.Render(), nil
+	})
+
+	timed("x8-contention", func() (map[string]float64, string, error) {
+		con, err := experiments.RunContention(*seed, experiments.X8Duration)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := experiments.CheckContentionShape(con); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range con.Rows {
+			key := slug(row.Scenario)
+			m[key+"_admitted"] = float64(row.Admitted)
+			m[key+"_rejected"] = float64(row.Rejected)
+			m[key+"_quota_denied"] = float64(row.QuotaDenied)
+			m[key+"_msgs_per_app"] = float64(row.MinMsgs)
+			m[key+"_reclaimed_bytes"] = float64(row.ReclaimedHostBytes)
+			m[key+"_leaked_bytes"] = float64(row.LeakedHostBytes)
+		}
+		return m, con.Render(), nil
 	})
 
 	if *scenario == "table2-jitter-sweep" && *sweepN <= 0 {

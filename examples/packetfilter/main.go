@@ -65,8 +65,10 @@ func run(offloaded bool) (sim.Time, int) {
 	// programmable NIC, and two free-standing traffic stations. Only the
 	// offloaded variant gives the host a HYDRA runtime.
 	var rtCfg *hydra.RuntimeConfig
+	var apps []hydra.AppSpec
 	if offloaded {
 		rtCfg = &hydra.RuntimeConfig{}
+		apps = []hydra.AppSpec{{Name: "filter-app"}}
 	}
 	sys, err := hydra.NewTestbed(7, hydra.TestbedSpec{
 		Name:     "packetfilter",
@@ -76,6 +78,7 @@ func run(offloaded bool) (sim.Time, int) {
 			Name:    "host",
 			Devices: []hydra.DeviceConfig{hydra.XScaleNIC("nic0")},
 			Runtime: rtCfg,
+			Apps:    apps,
 		}},
 	})
 	if err != nil {
@@ -96,7 +99,11 @@ func run(offloaded bool) (sim.Time, int) {
 		}
 		oc = &filterOffcode{}
 		dep.RegisterFactory(4242, func() any { return oc })
-		sys.Host("host").Runtime.Deploy("/net/filter.odf", func(h *hydra.Handle, err error) {
+		plan := sys.Host("host").App("filter-app").Plan()
+		if err := plan.AddRoot("/net/filter.odf"); err != nil {
+			log.Fatal(err)
+		}
+		plan.Commit(func(d *hydra.Deployment, err error) {
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,7 +1,10 @@
-// Command quickstart reproduces the paper's Figure 3 flow end to end:
-// create an Offcode from its ODF, build a reliable zero-copy unicast
-// channel to it via the Channel Executive, install a callback handler, and
-// invoke the Offcode through a typed proxy.
+// Command quickstart reproduces the paper's Figure 3 flow end to end on
+// the session API: open an application session, plan and commit the
+// Offcode deployment transactionally (with a placement preview before any
+// hardware is touched), build a reliable zero-copy unicast channel to it
+// via the Channel Executive — owned and quota-accounted by the session —
+// install a callback handler, invoke the Offcode through a typed proxy,
+// and close the session, which reclaims everything it created.
 package main
 
 import (
@@ -74,13 +77,24 @@ const checksumODF = `<offcode>
 
 func main() {
 	// Declare the machine — host + programmable NIC on a PCI bus + HYDRA
-	// runtime — and build it in one step.
+	// runtime + our application session — and build it in one step. The
+	// session carries quotas: this application may pin at most 2 MB of
+	// host memory (its channel ring books 1 MB of that) and hold one
+	// channel and one Offcode.
 	sys, err := hydra.NewTestbed(1, hydra.TestbedSpec{
 		Name: "quickstart",
 		Hosts: []hydra.HostSpec{{
 			Name:    "host",
 			Devices: []hydra.DeviceConfig{hydra.XScaleNIC("nic0")},
 			Runtime: &hydra.RuntimeConfig{},
+			Apps: []hydra.AppSpec{{
+				Name: "checksum-app",
+				Config: hydra.AppConfig{
+					MemoryQuota:  2 << 20,
+					ChannelQuota: 1,
+					OffcodeQuota: 1,
+				},
+			}},
 		}},
 	})
 	if err != nil {
@@ -103,20 +117,36 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// "Get our runtime and create the Offcode" (Figure 3).
-	rt := sys.Host("host").Runtime
+	// "Get our runtime and create the Offcode" (Figure 3) — as a
+	// transactional plan on our session. Solve previews the placement
+	// before a single byte moves; Commit deploys atomically.
+	app := sys.Host("host").App("checksum-app")
+	plan := app.Plan()
+	if err := plan.AddRoot("/offcodes/checksum.odf"); err != nil {
+		log.Fatal(err) // e.g. hydra.ErrDuplicateBind
+	}
+	preview, err := plan.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, asg := range preview.Assignments {
+		fmt.Printf("plan: %s → %s\n", asg.BindName, asg.Target)
+	}
 
-	rt.Deploy("/offcodes/checksum.odf", func(h *hydra.Handle, err error) {
+	plan.Commit(func(dep *hydra.Deployment, err error) {
 		if err != nil {
-			log.Fatal(err)
+			log.Fatal(err) // a failed commit rolled everything back
 		}
-		fmt.Printf("offcode %s deployed to %s (image %d B at %#x)\n",
-			h.BindName, h.Device().Name(), h.ImageSize(), h.ImageAddr())
+		h := dep.Handles["hydra.net.utils.Checksum"]
+		fmt.Printf("offcode %s deployed to %s (image %d B at %#x, committed in %v)\n",
+			h.BindName, h.Device().Name(), h.ImageSize(), h.ImageAddr(),
+			dep.Finished-dep.Started)
 
-		// "Set up the channel": reliable unicast, zero-copy, sequential.
+		// "Set up the channel": reliable unicast, zero-copy, sequential —
+		// owned by the session and charged against its quotas.
 		cfg := hydra.DefaultChannelConfig()
 		cfg.Sync = channel.SyncSequential
-		appEnd, _, err := rt.CreateChannel(cfg, h)
+		appEnd, _, err := app.CreateChannel(cfg, h)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -147,4 +177,13 @@ func main() {
 
 	eng.Run(hydra.Seconds(1))
 	fmt.Printf("done: NIC busy %v, bus moved %d bytes\n", nic.BusyTime(), b.Total().Bytes)
+
+	// Close the session: the Offcode stops and every channel ring the
+	// session pinned returns to the host's memory ledger.
+	live := sys.Host("host").Machine.LiveBytes()
+	if err := app.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session closed: reclaimed %d bytes of pinned memory\n",
+		live-sys.Host("host").Machine.LiveBytes())
 }

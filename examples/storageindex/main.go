@@ -76,12 +76,17 @@ func main() {
 	smartDiskSpec := func(rt *hydra.RuntimeConfig) hydra.TestbedSpec {
 		disk := hydra.SmartDiskDevice("disk0")
 		disk.LocalMemBytes = 8 << 20 // room for the document set
+		var apps []hydra.AppSpec
+		if rt != nil {
+			apps = []hydra.AppSpec{{Name: "index-app"}}
+		}
 		return hydra.TestbedSpec{
 			Name: "storageindex",
 			Hosts: []hydra.HostSpec{{
 				Name:    "host",
 				Devices: []hydra.DeviceConfig{disk},
 				Runtime: rt,
+				Apps:    apps,
 			}},
 		}
 	}
@@ -100,7 +105,11 @@ func main() {
 	}
 	oc := &indexOffcode{docs: docs, term: term}
 	dep.RegisterFactory(8080, func() any { return oc })
-	sys.Host("host").Runtime.Deploy("/fs/index.odf", func(h *hydra.Handle, err error) {
+	plan := sys.Host("host").App("index-app").Plan()
+	if err := plan.AddRoot("/fs/index.odf"); err != nil {
+		log.Fatal(err)
+	}
+	plan.Commit(func(d *hydra.Deployment, err error) {
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -30,6 +30,12 @@ func main() {
 
 	tb.Eng.Run(duration)
 
+	if err := server.DeployErr(); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.DeployErr(); err != nil {
+		log.Fatal(err)
+	}
 	if err := client.VerifyPlacement(); err != nil {
 		log.Fatal(err)
 	}

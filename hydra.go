@@ -5,20 +5,32 @@
 // Programmable Devices", ASPLOS 2008.
 //
 // The package re-exports the supported API surface from the internal
-// packages. A typical OA-application declares its machine as a testbed
-// spec and builds it in one step:
+// packages. A typical OA-application declares its machine — including its
+// application sessions — as a testbed spec, builds it in one step, and
+// deploys through a transactional plan:
 //
 //	sys, err := hydra.NewTestbed(1, hydra.TestbedSpec{
 //		Hosts: []hydra.HostSpec{{
 //			Name:    "host",
 //			Devices: []hydra.DeviceConfig{hydra.XScaleNIC("nic0")},
 //			Runtime: &hydra.RuntimeConfig{},
+//			Apps:    []hydra.AppSpec{{Name: "myapp"}},
 //		}},
 //	})
-//	rt := sys.Host("host").Runtime
+//	app := sys.Host("host").App("myapp")
 //	// stock sys.Host("host").Depot with ODFs, objects and factories, then:
-//	rt.Deploy("/offcodes/checksum.odf", func(h *hydra.Handle, err error) { ... })
+//	plan := app.Plan()
+//	_ = plan.AddRoot("/offcodes/checksum.odf") // rejects duplicate binds
+//	preview, _ := plan.Solve()                 // placement, no hardware touched
+//	plan.Commit(func(dep *hydra.Deployment, err error) { ... }) // atomic
 //	sys.Eng.Run(hydra.Seconds(1))
+//	_ = app.Close() // stops the app's Offcodes, releases every ring and pin
+//	_ = preview
+//
+// Sessions opened with OpenApp carry memory/channel/Offcode quotas and an
+// admission-controlled device-memory reservation; Commit rolls back every
+// Offcode and pinned ring on partial failure. The callback
+// Runtime.Deploy remains as a deprecated shim over the default session.
 //
 // Scenario fleets run through hydra.Sweep: one engine per replica on a
 // worker pool, bit-identical to a serial loop.
@@ -38,6 +50,7 @@ import (
 	"hydra/internal/layout"
 	"hydra/internal/objfile"
 	"hydra/internal/odf"
+	"hydra/internal/resource"
 	"hydra/internal/sim"
 	"hydra/internal/testbed"
 )
@@ -70,6 +83,28 @@ type (
 	Runtime = core.Runtime
 	// RuntimeConfig tunes resolver, objective and loader choices.
 	RuntimeConfig = core.Config
+	// App is an application session opened via Runtime.OpenApp: the owner
+	// of a quota-bounded resource subtree, deployment plans and channels.
+	App = core.App
+	// AppConfig sizes a session at admission: quotas plus the
+	// device-memory reservation admission control checks.
+	AppConfig = core.AppConfig
+	// DeployPlan is the transactional deployment API: AddRoot → Solve
+	// (placement preview) → Commit (atomic, with rollback).
+	DeployPlan = core.DeployPlan
+	// DeployPreview is a solved plan's per-Offcode placement forecast.
+	DeployPreview = core.Preview
+	// DeployAssignment is one Offcode's placement in a DeployPreview.
+	DeployAssignment = core.Assignment
+	// Deployment is the typed result of DeployPlan.Commit.
+	Deployment = core.Deployment
+	// RootOption tunes DeployPlan.AddRoot (e.g. hydra.NoReuse).
+	RootOption = core.RootOption
+	// ResourceNode is a node of the hierarchical resource manager; App
+	// quota usage is read off App.Resources().
+	ResourceNode = resource.Node
+	// QuotaError reports a charge rejected by a resource quota.
+	QuotaError = resource.QuotaError
 	// Handle identifies a deployed Offcode instance.
 	Handle = core.Handle
 	// Offcode is the behaviour contract (IOffcode).
@@ -113,6 +148,9 @@ type (
 	TestbedSpec = testbed.Spec
 	// HostSpec declares one host inside a TestbedSpec.
 	HostSpec = testbed.HostSpec
+	// AppSpec declares one application session on a host's runtime, so
+	// multi-tenant workloads are topology data.
+	AppSpec = testbed.AppSpec
 	// NetSpec declares the inter-host network.
 	NetSpec = testbed.NetSpec
 	// ChannelSpec names a channel configuration profile on a TestbedSpec
@@ -234,6 +272,33 @@ var (
 	SynthesizeObject = objfile.Synthesize
 	// Seconds converts seconds to virtual Time.
 	Seconds = sim.Seconds
+)
+
+// Session errors and quota kinds.
+var (
+	// ErrAppExists reports an OpenApp name collision.
+	ErrAppExists = core.ErrAppExists
+	// ErrAppClosed reports use of a closed session.
+	ErrAppClosed = core.ErrAppClosed
+	// ErrAdmission reports an OpenApp rejected by device-capacity
+	// admission control.
+	ErrAdmission = core.ErrAdmission
+	// ErrDuplicateBind reports a bind name already deployed from a
+	// different ODF or already present in a plan.
+	ErrDuplicateBind = core.ErrDuplicateBind
+	// NoReuse makes AddRoot reject an already-deployed root instead of
+	// reusing the running instance.
+	NoReuse = core.NoReuse
+)
+
+// Quota kinds booked in an App's resource subtree.
+const (
+	// QuotaMemory is pinned host memory in bytes.
+	QuotaMemory = core.QuotaMemory
+	// QuotaChannels counts concurrently open app-created channels.
+	QuotaChannels = core.QuotaChannels
+	// QuotaOffcodes counts live Offcodes owned by a session.
+	QuotaOffcodes = core.QuotaOffcodes
 )
 
 // Layout resolvers and objectives.

@@ -238,12 +238,23 @@ func DeviceEndpoint(d *device.Device, name string) *Endpoint {
 
 func (e *Endpoint) allocRing() {
 	if e.host != nil && e.ringBuf == 0 {
-		e.ringSize = e.ch.cfg.RingEntries * e.ch.cfg.MaxMessage
-		if e.ringSize > 1<<20 {
-			e.ringSize = 1 << 20 // cap modeled footprint
-		}
+		e.ringSize = RingFootprint(e.ch.cfg)
 		e.ringBuf = e.host.Alloc(e.ringSize)
 	}
+}
+
+// RingFootprint reports the pinned host memory one host-side endpoint of a
+// channel with this configuration occupies — what quota accounting should
+// book per ring.
+func RingFootprint(cfg Config) int {
+	size := cfg.RingEntries * cfg.MaxMessage
+	if size > 1<<20 {
+		size = 1 << 20 // cap modeled footprint
+	}
+	if size < 0 {
+		size = 0
+	}
+	return size
 }
 
 // Config returns the channel configuration.

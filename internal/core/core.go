@@ -93,12 +93,27 @@ type Handle struct {
 	dev       *device.Device // nil = host placement
 	imageAddr uint64         // device-local address of the linked image
 	imageSize int
-	res       *resource.Node
-	oobApp    *channel.Endpoint // application/runtime side
-	oobOC     *channel.Endpoint // Offcode side
-	pseudo    bool
-	seq       uint64 // global instantiation order; failover stops in reverse
+	// devMemBytes is the total device memory the load allocated (image
+	// plus loader staging); teardown returns it via device.FreeMem —
+	// unless the device's memory generation moved on (a crash restore
+	// wiped the ledger, which already forgot this allocation).
+	devMemBytes int
+	devMemGen   uint64
+	res         *resource.Node
+	oobApp      *channel.Endpoint // application/runtime side
+	oobOC       *channel.Endpoint // Offcode side
+	pseudo      bool
+	seq         uint64 // global instantiation order; failover stops in reverse
+	app         *App   // owning application session (nil for pseudo Offcodes)
+	srcPath     string // depot path of the ODF this instance was loaded from
 }
+
+// App returns the application session that owns this Offcode (nil for
+// runtime-provided pseudo Offcodes).
+func (h *Handle) App() *App { return h.app }
+
+// SourcePath reports the depot ODF path the instance was deployed from.
+func (h *Handle) SourcePath() string { return h.srcPath }
 
 // State reports the lifecycle state.
 func (h *Handle) State() State { return h.state }
@@ -117,6 +132,10 @@ func (h *Handle) ImageAddr() uint64 { return h.imageAddr }
 
 // ImageSize reports the placed image size in bytes.
 func (h *Handle) ImageSize() int { return h.imageSize }
+
+// DeviceMemBytes reports the total device-local memory held by this
+// instance (image plus loader staging), released at teardown.
+func (h *Handle) DeviceMemBytes() int { return h.devMemBytes }
 
 // OOB returns the runtime-side endpoint of the Offcode's OOB channel.
 func (h *Handle) OOB() *channel.Endpoint { return h.oobApp }
@@ -161,6 +180,11 @@ type Runtime struct {
 	deploys uint64
 	instSeq uint64
 
+	// Application sessions (see app.go): every deployment belongs to one.
+	// defaultApp backs the deprecated callback Deploy shim.
+	apps       map[string]*App
+	defaultApp *App
+
 	// Self-healing state (see health.go): the deployment roots the runtime
 	// is responsible for re-establishing after a device failure, checkpoints
 	// awaiting restoration into re-instantiated Offcodes, the health
@@ -173,11 +197,13 @@ type Runtime struct {
 	recoveries     []*Recovery
 }
 
-// rootRecord remembers one successful Deploy so failover can re-establish
-// the same services over the surviving targets.
+// rootRecord remembers one successfully committed deployment root so
+// failover can re-establish the same services — under the same application
+// session — over the surviving targets.
 type rootRecord struct {
 	path string
 	bind string // the root ODF's bind name
+	app  *App   // owning session; redeployed under it after a failure
 }
 
 // New creates a runtime on the host. Devices are registered afterwards with
@@ -190,12 +216,23 @@ func New(eng *sim.Engine, host *hostos.Machine, b *bus.Bus, dep *depot.Depot, cf
 		root:      resource.NewRoot("hydra"),
 		byGUID:    make(map[guid.GUID]*Handle),
 		byBind:    make(map[string]*Handle),
+		apps:      make(map[string]*App),
 	}
 	rt.loaders[LoaderHostLink] = &hostLinkLoader{rt: rt}
 	rt.loaders[LoaderDeviceLink] = &deviceLinkLoader{rt: rt}
 	rt.registerPseudoOffcodes()
+	// The default session backs the deprecated callback Deploy shim, so
+	// legacy single-tenant callers keep working unchanged.
+	app, err := rt.OpenApp(DefaultAppName, AppConfig{})
+	if err != nil {
+		panic("core: default app: " + err.Error()) // fresh runtime; cannot collide
+	}
+	rt.defaultApp = app
 	return rt
 }
+
+// DefaultApp returns the session backing the deprecated Deploy shim.
+func (rt *Runtime) DefaultApp() *App { return rt.defaultApp }
 
 // Engine returns the simulation engine.
 func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
@@ -269,14 +306,18 @@ func (rt *Runtime) deployedHandles() []*Handle {
 	return out
 }
 
-// recordRoot remembers a successful deployment root (deduplicated by path).
-func (rt *Runtime) recordRoot(path, bind string) {
+// recordRoot remembers a successful deployment root (deduplicated by
+// path), reporting whether a new record was added — callers that may need
+// to undo the record (plan rollback) must not forget records they merely
+// re-confirmed.
+func (rt *Runtime) recordRoot(path, bind string, app *App) bool {
 	for _, r := range rt.roots {
 		if r.path == path {
-			return
+			return false
 		}
 	}
-	rt.roots = append(rt.roots, rootRecord{path: path, bind: bind})
+	rt.roots = append(rt.roots, rootRecord{path: path, bind: bind, app: app})
+	return true
 }
 
 // forgetRoot drops root records whose root Offcode was stopped explicitly,

@@ -13,6 +13,7 @@ import (
 	"hydra/internal/guid"
 	"hydra/internal/hostos"
 	"hydra/internal/objfile"
+	"hydra/internal/resource"
 	"hydra/internal/sim"
 )
 
@@ -467,5 +468,647 @@ func TestOffcodesListing(t *testing.T) {
 		if !want[n] {
 			t.Fatalf("unexpected offcode %s", n)
 		}
+	}
+}
+
+// --- Application sessions and transactional deployment plans ---
+
+// stockNoFactory registers an ODF + object but no behaviour factory, so
+// instantiation of this Offcode must fail mid-pipeline.
+func (r *rig) stockNoFactory(t *testing.T, bind string, g uint64, targetClass string, imports string) {
+	t.Helper()
+	odfDoc := fmt.Sprintf(`<offcode>
+  <package><bindname>%s</bindname><GUID>%d</GUID></package>
+  <sw-env>%s</sw-env>
+  <targets>
+    <device-class><name>%s</name></device-class>
+    <host-fallback>true</host-fallback>
+  </targets>
+</offcode>`, bind, g, imports, targetClass)
+	r.depot.PutFile("/offcodes/"+bind+".odf", []byte(odfDoc))
+	obj := objfile.Synthesize(bind, guid.GUID(g), 512, []string{"hydra.Heap.Alloc"})
+	if err := r.depot.RegisterObject(obj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression (bugfix): a mid-list instantiate failure used to leak the
+// memory already pinned for earlier Offcodes in the same closure — their
+// OOB rings stayed on the hostos.LiveBytes ledger and their images stayed
+// registered. The pipeline must roll the partial deployment back to the
+// exact pre-deploy ledger and Offcode population. The legacy Deploy shim
+// and an explicit plan Commit share the pipeline and must both pass.
+func TestDeployMidListFailureRollsBackPinnedMemory(t *testing.T) {
+	run := func(t *testing.T, deploy func(r *rig) error) {
+		r := newRig(t, Config{})
+		r.stock(t, "net.Checksum", 101, "Network Device", "")
+		// The root imports the (deployable) checksum but has no factory:
+		// checksum instantiates first — pinning its OOB ring — then the
+		// root's instantiate fails.
+		r.stockNoFactory(t, "net.Socket", 100, "Network Device", importRef("net.Checksum", 101, "Pull"))
+
+		liveBefore := r.host.LiveBytes()
+		devBefore := r.nic.MemLive()
+		offcodesBefore := len(r.rt.deployedHandles())
+
+		err := deploy(r)
+		if err == nil {
+			t.Fatal("mid-list failure did not surface")
+		}
+		if !strings.Contains(err.Error(), "factory") {
+			t.Fatalf("err = %v, want factory error", err)
+		}
+		if got := r.host.LiveBytes(); got != liveBefore {
+			t.Fatalf("LiveBytes = %d after failed deploy, want %d (leaked %d B of pinned memory)",
+				got, liveBefore, got-liveBefore)
+		}
+		if got := r.nic.MemLive(); got != devBefore {
+			t.Fatalf("device MemLive = %d, want %d", got, devBefore)
+		}
+		if got := len(r.rt.deployedHandles()); got != offcodesBefore {
+			t.Fatalf("deployed offcodes = %d, want %d", got, offcodesBefore)
+		}
+		if _, err := r.rt.GetOffcode("net.Checksum"); err == nil {
+			t.Fatal("rolled-back import still registered")
+		}
+	}
+	t.Run("legacy-deploy-shim", func(t *testing.T) {
+		run(t, func(r *rig) error {
+			var derr error
+			r.rt.Deploy("/offcodes/net.Socket.odf", func(h *Handle, err error) { derr = err })
+			r.eng.RunAll()
+			return derr
+		})
+	})
+	t.Run("plan-commit", func(t *testing.T) {
+		run(t, func(r *rig) error {
+			app, err := r.rt.OpenApp("victim", AppConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := app.Plan()
+			if err := plan.AddRoot("/offcodes/net.Socket.odf"); err != nil {
+				t.Fatal(err)
+			}
+			var derr error
+			var dep *Deployment
+			plan.Commit(func(d *Deployment, err error) { dep, derr = d, err })
+			r.eng.RunAll()
+			if derr != nil {
+				if len(dep.Handles) != 0 {
+					t.Fatalf("failed commit left handles: %v", dep.Handles)
+				}
+				if dep.RootErrs["net.Socket"] == nil {
+					t.Fatalf("RootErrs missing the failing root: %+v", dep.RootErrs)
+				}
+			}
+			return derr
+		})
+	})
+}
+
+// A failure in phase-one Initialize must roll back the same way.
+func TestCommitRollsBackOnInitializeFailure(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	// A root whose behaviour factory fails at Initialize.
+	odfDoc := `<offcode>
+  <package><bindname>net.Bad</bindname><GUID>666</GUID></package>
+  <sw-env>` + importRef("net.Checksum", 101, "Link") + `</sw-env>
+  <targets><device-class><name>Network Device</name></device-class><host-fallback>true</host-fallback></targets>
+</offcode>`
+	r.depot.PutFile("/offcodes/net.Bad.odf", []byte(odfDoc))
+	if err := r.depot.RegisterObject(objfile.Synthesize("net.Bad", 666, 512, []string{"hydra.Heap.Alloc"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.depot.RegisterFactory(666, func() any {
+		return &fakeOffcode{name: "net.Bad", log: &r.log, initErr: errors.New("boom")}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	liveBefore := r.host.LiveBytes()
+	var derr error
+	r.rt.Deploy("/offcodes/net.Bad.odf", func(h *Handle, err error) { derr = err })
+	r.eng.RunAll()
+	if derr == nil || !strings.Contains(derr.Error(), "Initialize") {
+		t.Fatalf("err = %v", derr)
+	}
+	if got := r.host.LiveBytes(); got != liveBefore {
+		t.Fatalf("LiveBytes = %d, want %d after Initialize-failure rollback", got, liveBefore)
+	}
+	if got := len(r.rt.deployedHandles()); got != 0 {
+		t.Fatalf("deployed offcodes = %d, want 0", got)
+	}
+}
+
+// Regression (bugfix): deploying a second ODF whose root reuses an
+// existing bind name used to silently return the first instance and
+// shadow its rootRecord bookkeeping. It must now fail with the typed
+// ErrDuplicateBind — while same-path redeployment (component reuse) keeps
+// working (TestDeployReuse).
+func TestDuplicateBindRejectedAcrossPaths(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	deploy(t, r, "/offcodes/net.Checksum.odf")
+
+	// A different document, same bind name.
+	r.depot.PutFile("/offcodes/impostor.odf", []byte(`<offcode>
+  <package><bindname>net.Checksum</bindname><GUID>999</GUID></package>
+  <targets><host-fallback>true</host-fallback></targets>
+</offcode>`))
+	var derr error
+	r.rt.Deploy("/offcodes/impostor.odf", func(h *Handle, err error) { derr = err })
+	r.eng.RunAll()
+	if !errors.Is(derr, ErrDuplicateBind) {
+		t.Fatalf("err = %v, want ErrDuplicateBind", derr)
+	}
+
+	// Within one plan, two roots sharing a bind are rejected at AddRoot.
+	r2 := newRig(t, Config{})
+	r2.stock(t, "net.Checksum", 101, "Network Device", "")
+	r2.depot.PutFile("/offcodes/impostor.odf", []byte(`<offcode>
+  <package><bindname>net.Checksum</bindname><GUID>999</GUID></package>
+  <targets><host-fallback>true</host-fallback></targets>
+</offcode>`))
+	plan := r2.rt.DefaultApp().Plan()
+	if err := plan.AddRoot("/offcodes/net.Checksum.odf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.AddRoot("/offcodes/impostor.odf"); !errors.Is(err, ErrDuplicateBind) {
+		t.Fatalf("err = %v, want ErrDuplicateBind", err)
+	}
+	// NoReuse forbids even the same-path reuse.
+	deploy(t, r2, "/offcodes/net.Checksum.odf")
+	p2 := r2.rt.DefaultApp().Plan()
+	if err := p2.AddRoot("/offcodes/net.Checksum.odf", NoReuse()); !errors.Is(err, ErrDuplicateBind) {
+		t.Fatalf("NoReuse err = %v, want ErrDuplicateBind", err)
+	}
+}
+
+func TestOpenAppNamesAndAdmission(t *testing.T) {
+	r := newRig(t, Config{})
+	if _, err := r.rt.OpenApp("a", AppConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.rt.OpenApp("a", AppConfig{}); !errors.Is(err, ErrAppExists) {
+		t.Fatalf("err = %v, want ErrAppExists", err)
+	}
+	if _, err := r.rt.OpenApp("", AppConfig{}); err == nil {
+		t.Fatal("empty app name accepted")
+	}
+	if _, err := r.rt.OpenApp(DefaultAppName, AppConfig{}); !errors.Is(err, ErrAppExists) {
+		t.Fatalf("default name err = %v", err)
+	}
+
+	// Admission: the rig has a 2 MB NIC + 1 MB disk.
+	free := r.rt.FreeDeviceMemory()
+	big, err := r.rt.OpenApp("big", AppConfig{DeviceMemory: free - (64 << 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.rt.OpenApp("late", AppConfig{DeviceMemory: 128 << 10}); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("err = %v, want ErrAdmission", err)
+	}
+	// Closing the reservation holder re-admits.
+	if err := big.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.rt.OpenApp("late", AppConfig{DeviceMemory: 128 << 10}); err != nil {
+		t.Fatalf("post-close admission failed: %v", err)
+	}
+}
+
+func TestAppQuotasEnforced(t *testing.T) {
+	r := newRig(t, Config{})
+	app, err := r.rt.OpenApp("tenant", AppConfig{MemoryQuota: 64 << 10, ChannelQuota: 1, OffcodeQuota: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory quota.
+	if _, _, err := app.PinMemory(32 << 10); err != nil {
+		t.Fatal(err)
+	}
+	var qerr *resource.QuotaError
+	if _, _, err := app.PinMemory(48 << 10); !errors.As(err, &qerr) {
+		t.Fatalf("over-quota pin err = %v", err)
+	} else if qerr.Kind != QuotaMemory {
+		t.Fatalf("quota kind = %q", qerr.Kind)
+	}
+
+	// Offcode quota: a two-Offcode closure cannot fit a quota of one, and
+	// the rejection happens before any hardware is touched.
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	r.stock(t, "net.Socket", 100, "Network Device", importRef("net.Checksum", 101, "Pull"))
+	live := r.host.LiveBytes()
+	plan := app.Plan()
+	if err := plan.AddRoot("/offcodes/net.Socket.odf"); err != nil {
+		t.Fatal(err)
+	}
+	var derr error
+	plan.Commit(func(d *Deployment, err error) { derr = err })
+	r.eng.RunAll()
+	if !errors.As(derr, &qerr) || qerr.Kind != QuotaOffcodes {
+		t.Fatalf("offcode-quota err = %v", derr)
+	}
+	if r.host.LiveBytes() != live {
+		t.Fatal("rejected plan touched the memory ledger")
+	}
+
+	// Channel quota: deploy one offcode through a roomier app, then hit
+	// the one-channel bound.
+	app2, err := r.rt.OpenApp("tenant2", AppConfig{ChannelQuota: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := app2.Plan()
+	if err := p2.AddRoot("/offcodes/net.Checksum.odf"); err != nil {
+		t.Fatal(err)
+	}
+	var h *Handle
+	p2.Commit(func(d *Deployment, err error) {
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h = d.Handles["net.Checksum"]
+	})
+	r.eng.RunAll()
+	if h == nil {
+		t.Fatal("commit did not produce a handle")
+	}
+	cfg := channel.DefaultConfig()
+	if _, _, err := app2.CreateChannel(cfg, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := app2.CreateChannel(cfg, h); !errors.As(err, &qerr) || qerr.Kind != QuotaChannels {
+		t.Fatalf("channel-quota err = %v", err)
+	}
+}
+
+func TestPlanSolvePreviewTouchesNoHardware(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	r.stock(t, "net.Socket", 100, "Network Device", importRef("net.Checksum", 101, "Pull"))
+	app, err := r.rt.OpenApp("previewer", AppConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := app.Plan()
+	if err := plan.AddRoot("/offcodes/net.Socket.odf"); err != nil {
+		t.Fatal(err)
+	}
+	live, devMem, now := r.host.LiveBytes(), r.nic.MemUsed(), r.eng.Now()
+	pre, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.host.LiveBytes() != live || r.nic.MemUsed() != devMem || r.eng.Now() != now {
+		t.Fatal("Solve touched hardware or consumed simulated time")
+	}
+	if len(r.rt.deployedHandles()) != 0 {
+		t.Fatal("Solve registered offcodes")
+	}
+	if len(pre.Assignments) != 2 {
+		t.Fatalf("assignments = %+v", pre.Assignments)
+	}
+	// Instantiation order: the Pull import first, both on the NIC.
+	if pre.Assignments[0].BindName != "net.Checksum" || pre.Assignments[1].BindName != "net.Socket" {
+		t.Fatalf("order = %+v", pre.Assignments)
+	}
+	for _, a := range pre.Assignments {
+		if a.Target != "nic0" {
+			t.Fatalf("%s on %s, want nic0", a.BindName, a.Target)
+		}
+		if a.Root != "net.Socket" {
+			t.Fatalf("%s root = %s", a.BindName, a.Root)
+		}
+	}
+	// The preview matches what Commit then does.
+	var dep *Deployment
+	plan.Commit(func(d *Deployment, err error) {
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dep = d
+	})
+	r.eng.RunAll()
+	if dep == nil {
+		t.Fatal("commit incomplete")
+	}
+	got, err := r.rt.GetOffcode("net.Checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device() == nil || got.Device().Name() != "nic0" {
+		t.Fatal("commit diverged from preview")
+	}
+	if dep.Finished < dep.Started {
+		t.Fatalf("timings: %v..%v", dep.Started, dep.Finished)
+	}
+}
+
+func TestMultiRootPlanAtomicity(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	r.stockNoFactory(t, "fs.Broken", 202, "Storage Device", "")
+	app, err := r.rt.OpenApp("multi", AppConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := r.host.LiveBytes()
+	plan := app.Plan()
+	if err := plan.AddRoot("/offcodes/net.Checksum.odf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.AddRoot("/offcodes/fs.Broken.odf"); err != nil {
+		t.Fatal(err)
+	}
+	var dep *Deployment
+	var derr error
+	plan.Commit(func(d *Deployment, err error) { dep, derr = d, err })
+	r.eng.RunAll()
+	if derr == nil {
+		t.Fatal("broken second root did not fail the commit")
+	}
+	// The healthy first root was rolled back too: all-or-nothing.
+	if _, err := r.rt.GetOffcode("net.Checksum"); err == nil {
+		t.Fatal("first root survived a failed multi-root commit")
+	}
+	if r.host.LiveBytes() != live {
+		t.Fatalf("ledger leaked %d bytes", r.host.LiveBytes()-live)
+	}
+	if dep.RootErrs["fs.Broken"] == nil {
+		t.Fatalf("RootErrs = %+v", dep.RootErrs)
+	}
+	if len(r.rt.roots) != 0 {
+		t.Fatalf("failed commit left root records: %+v", r.rt.roots)
+	}
+
+	// The same plan contents succeed when both roots are deployable, and
+	// both handles arrive in one Deployment.
+	r.depot.RegisterFactory(202, func() any { return &fakeOffcode{name: "fs.Broken", log: &r.log} })
+	plan2 := app.Plan()
+	if err := plan2.AddRoot("/offcodes/net.Checksum.odf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan2.AddRoot("/offcodes/fs.Broken.odf"); err != nil {
+		t.Fatal(err)
+	}
+	plan2.Commit(func(d *Deployment, err error) { dep, derr = d, err })
+	r.eng.RunAll()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(dep.Handles) != 2 || dep.Handles["net.Checksum"] == nil || dep.Handles["fs.Broken"] == nil {
+		t.Fatalf("handles = %+v", dep.Handles)
+	}
+	if got := len(app.Offcodes()); got != 2 {
+		t.Fatalf("app owns %d offcodes", got)
+	}
+}
+
+func TestAppCloseStopsInReverseOrderAndReclaims(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	r.stock(t, "net.Socket", 100, "Network Device", importRef("net.Checksum", 101, "Pull"))
+	app, err := r.rt.OpenApp("tenant", AppConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := r.host.LiveBytes()
+	devLive := r.nic.MemLive()
+	plan := app.Plan()
+	if err := plan.AddRoot("/offcodes/net.Socket.odf"); err != nil {
+		t.Fatal(err)
+	}
+	var h *Handle
+	plan.Commit(func(d *Deployment, err error) {
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h = d.Handles["net.Socket"]
+	})
+	r.eng.RunAll()
+	if h == nil {
+		t.Fatal("commit incomplete")
+	}
+	if _, _, err := app.PinMemory(16 << 10); err != nil {
+		t.Fatal(err)
+	}
+	r.log = nil
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reverse dependency order: the importer stops before its import.
+	if len(r.log) != 2 || r.log[0] != "stop:net.Socket" || r.log[1] != "stop:net.Checksum" {
+		t.Fatalf("stop order = %v", r.log)
+	}
+	if got := r.host.LiveBytes(); got != live {
+		t.Fatalf("LiveBytes = %d after Close, want %d", got, live)
+	}
+	if got := r.nic.MemLive(); got != devLive {
+		t.Fatalf("device MemLive = %d, want %d", got, devLive)
+	}
+	if len(r.rt.roots) != 0 {
+		t.Fatalf("closed app left root records: %+v", r.rt.roots)
+	}
+	if r.rt.App("tenant") != nil {
+		t.Fatal("closed app still listed")
+	}
+	// Idempotent.
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A closed app rejects further use.
+	if _, _, err := app.PinMemory(4096); !errors.Is(err, ErrAppClosed) {
+		t.Fatalf("pin on closed app: %v", err)
+	}
+	if err := app.Plan().AddRoot("/offcodes/net.Socket.odf"); !errors.Is(err, ErrAppClosed) {
+		t.Fatalf("plan on closed app: %v", err)
+	}
+}
+
+// Regression (review): a failed commit's rollback must not forget root
+// records it did not create — a plan that merely reused a running root
+// and then failed on another root used to delete the running service's
+// failover record.
+func TestFailedCommitKeepsReusedRootRecords(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	r.stockNoFactory(t, "fs.Broken", 202, "Storage Device", "")
+	deploy(t, r, "/offcodes/net.Checksum.odf") // plan 1: records the root
+	if len(r.rt.roots) != 1 {
+		t.Fatalf("roots = %+v", r.rt.roots)
+	}
+
+	plan := r.rt.DefaultApp().Plan()
+	if err := plan.AddRoot("/offcodes/net.Checksum.odf"); err != nil { // same-path reuse
+		t.Fatal(err)
+	}
+	if err := plan.AddRoot("/offcodes/fs.Broken.odf"); err != nil {
+		t.Fatal(err)
+	}
+	var derr error
+	plan.Commit(func(d *Deployment, err error) { derr = err })
+	r.eng.RunAll()
+	if derr == nil {
+		t.Fatal("broken root did not fail the commit")
+	}
+	// The reused service keeps running AND keeps its failover record.
+	if _, err := r.rt.GetOffcode("net.Checksum"); err != nil {
+		t.Fatalf("reused root was rolled back: %v", err)
+	}
+	if len(r.rt.roots) != 1 || r.rt.roots[0].bind != "net.Checksum" {
+		t.Fatalf("failed commit dropped the pre-existing root record: %+v", r.rt.roots)
+	}
+}
+
+// Regression (review): admission is a reservation model against device
+// capacity — an admitted tenant's live allocations must not also shrink
+// what later tenants can reserve.
+func TestAdmissionDoesNotDoubleCountLiveAllocations(t *testing.T) {
+	r := newRig(t, Config{})
+	capacity := r.rt.DeviceCapacity()
+	a, err := r.rt.OpenApp("a", AppConfig{DeviceMemory: capacity / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tenant deploys within its reservation (a 512 B image).
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	p := a.Plan()
+	if err := p.AddRoot("/offcodes/net.Checksum.odf"); err != nil {
+		t.Fatal(err)
+	}
+	var derr error
+	p.Commit(func(d *Deployment, err error) { derr = err })
+	r.eng.RunAll()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	// Another tenant can still reserve the remaining half of capacity:
+	// tenant a's image draws down a's reservation, not the shared pool.
+	if _, err := r.rt.OpenApp("b", AppConfig{DeviceMemory: capacity / 2}); err != nil {
+		t.Fatalf("admission double-counted live allocations: %v", err)
+	}
+}
+
+// A multi-root plan may wire a later root to an earlier one by GUID alone
+// (no bind name, no file): the planned set resolves it like a deployed
+// handle would.
+func TestPlanResolvesGUIDOnlyImportAcrossRoots(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	// The consumer imports GUID 101 with no file and no bind name.
+	r.depot.PutFile("/offcodes/consumer.odf", []byte(`<offcode>
+  <package><bindname>net.Consumer</bindname><GUID>300</GUID></package>
+  <sw-env><import><reference type="Link"><GUID>101</GUID></reference></import></sw-env>
+  <targets><device-class><name>Network Device</name></device-class><host-fallback>true</host-fallback></targets>
+</offcode>`))
+	if err := r.depot.RegisterObject(objfile.Synthesize("net.Consumer", 300, 512, []string{"hydra.Heap.Alloc"})); err != nil {
+		t.Fatal(err)
+	}
+	r.depot.RegisterFactory(300, func() any { return &fakeOffcode{name: "net.Consumer", log: &r.log} })
+
+	app, err := r.rt.OpenApp("guidplan", AppConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := app.Plan()
+	if err := plan.AddRoot("/offcodes/net.Checksum.odf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.AddRoot("/offcodes/consumer.odf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Solve(); err != nil {
+		t.Fatalf("GUID-only cross-root import did not solve: %v", err)
+	}
+	var dep *Deployment
+	var derr error
+	plan.Commit(func(d *Deployment, err error) { dep, derr = d, err })
+	r.eng.RunAll()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(dep.Handles) != 2 {
+		t.Fatalf("handles = %+v", dep.Handles)
+	}
+}
+
+// Regression (review): the device-link loader stages the raw object next
+// to the placed image; teardown must return BOTH to the device ledger.
+func TestDeviceLinkTeardownReclaimsStagingMemory(t *testing.T) {
+	r := newRig(t, Config{Loader: LoaderDeviceLink})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	before := r.nic.MemLive()
+	h := deploy(t, r, "/offcodes/net.Checksum.odf")
+	if h.DeviceMemBytes() <= h.ImageSize() {
+		t.Fatalf("device-link devBytes %d should exceed image %d (staging)", h.DeviceMemBytes(), h.ImageSize())
+	}
+	if err := r.rt.StopOffcode(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.nic.MemLive(); got != before {
+		t.Fatalf("device MemLive = %d after stop, want %d (staging leaked)", got, before)
+	}
+}
+
+// Regression (review): the admission reservation is an enforced cap — a
+// session cannot load more device memory than it reserved, and the
+// over-reservation commit rolls back cleanly.
+func TestReservationCapsDeviceLoads(t *testing.T) {
+	r := newRig(t, Config{})
+	app, err := r.rt.OpenApp("capped", AppConfig{DeviceMemory: 256}) // < the 512 B image
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	live, devLive := r.host.LiveBytes(), r.nic.MemLive()
+	plan := app.Plan()
+	if err := plan.AddRoot("/offcodes/net.Checksum.odf"); err != nil {
+		t.Fatal(err)
+	}
+	var derr error
+	plan.Commit(func(d *Deployment, err error) { derr = err })
+	r.eng.RunAll()
+	var qerr *resource.QuotaError
+	if !errors.As(derr, &qerr) || qerr.Kind != QuotaDeviceMemory {
+		t.Fatalf("err = %v, want device-memory QuotaError", derr)
+	}
+	if r.host.LiveBytes() != live || r.nic.MemLive() != devLive {
+		t.Fatalf("over-reservation commit leaked: host %d→%d dev %d→%d",
+			live, r.host.LiveBytes(), devLive, r.nic.MemLive())
+	}
+	if len(r.rt.deployedHandles()) != 0 {
+		t.Fatal("over-reservation commit left offcodes")
+	}
+}
+
+// Solve refuses the states Commit would refuse.
+func TestSolveChecksPlanState(t *testing.T) {
+	r := newRig(t, Config{})
+	r.stock(t, "net.Checksum", 101, "Network Device", "")
+	app, err := r.rt.OpenApp("solver", AppConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := app.Plan()
+	if err := plan.AddRoot("/offcodes/net.Checksum.odf"); err != nil {
+		t.Fatal(err)
+	}
+	plan.Commit(func(*Deployment, error) {})
+	r.eng.RunAll()
+	if _, err := plan.Solve(); err == nil || !strings.Contains(err.Error(), "committed") {
+		t.Fatalf("Solve after commit: %v", err)
+	}
+	plan2 := app.Plan()
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan2.Solve(); !errors.Is(err, ErrAppClosed) {
+		t.Fatalf("Solve on closed app: %v", err)
 	}
 }

@@ -2,15 +2,17 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"hydra/internal/channel"
 	"hydra/internal/device"
+	"hydra/internal/guid"
 	"hydra/internal/layout"
 	"hydra/internal/odf"
 )
 
-// Deploy runs the §3.4 deployment pipeline (Figure 5) for the Offcode
-// described by the ODF at path:
+// This file is the §3.4 deployment pipeline (Figure 5) shared by every
+// entry point:
 //
 //  1. process the ODF closure (the root plus every transitive import),
 //  2. construct the offloading layout graph,
@@ -19,62 +21,238 @@ import (
 //  5. offload (transfer the image, modeled on the bus) and instantiate,
 //  6. Initialize every new Offcode, then StartOffcode each one.
 //
-// Deployment takes simulated time (linking transfers, device work), so the
-// result arrives through k. Already-deployed Offcodes are reused — the
-// paper's component reuse — and must already satisfy their placement.
+// Steps 1–3 are pure — no hardware is touched — and are what
+// DeployPlan.Solve (plan.go) exposes as a placement preview; steps 4–6
+// take simulated time and run under DeployPlan.Commit with rollback.
+
+// Deploy runs the deployment pipeline for the single root at path under
+// the runtime's default application session, delivering the root handle
+// through k once the deployment settles on the virtual clock.
+//
+// Deprecated: Deploy is a thin shim kept so single-tenant callers compile.
+// New code should open a session and use the transactional plan API:
+// rt.OpenApp(...) → app.Plan() → plan.AddRoot(path) → plan.Commit(...),
+// which adds app identity, quotas, placement preview and atomic rollback.
 func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
-	rt.deploys++
-	closure, order, err := rt.closure(path)
-	if err != nil {
+	rt.defaultApp.deployOne(path, k)
+}
+
+// deployOne plans and commits a single root under the session, adapting
+// the typed Deployment result to the legacy (*Handle, error) callback.
+func (a *App) deployOne(path string, k func(*Handle, error)) {
+	plan := a.Plan()
+	if err := plan.AddRoot(path); err != nil {
 		k(nil, err)
 		return
 	}
-	rootODF := closure[order[0]]
+	plan.Commit(func(dep *Deployment, err error) {
+		if err != nil {
+			k(nil, err)
+			return
+		}
+		k(dep.Handles[plan.roots[0].bind], nil)
+	})
+}
 
-	// Layout graph over the *new* Offcodes only; reused ones keep their
-	// placement. Imports that resolve to already-deployed Offcodes are
-	// filtered out of the graph, but their Pull/Gang constraints still
-	// bind: they restrict the importer's compatibility vector below.
+// deviceRef wraps a device placement; nil means host placement.
+type deviceRef struct{ d *device.Device }
+
+// closure loads the ODF at path and, transitively, every import, returning
+// the documents keyed by path and a root-first order. placed is the set of
+// bind names earlier plan roots will have deployed by the time this root
+// commits; GUID-only imports may resolve against it.
+func (rt *Runtime) closure(path string, placed *placedSet) (map[string]*odf.ODF, []string, error) {
+	docs := make(map[string]*odf.ODF)
+	var order []string
+	var visit func(p string, stack map[string]bool) error
+	visit = func(p string, stack map[string]bool) error {
+		if stack[p] {
+			return fmt.Errorf("core: import cycle through %s", p)
+		}
+		if _, seen := docs[p]; seen {
+			return nil
+		}
+		o, err := rt.depot.LoadODF(p)
+		if err != nil {
+			return err
+		}
+		docs[p] = o
+		order = append(order, p)
+		stack[p] = true
+		for _, imp := range o.Imports {
+			if imp.File == "" {
+				// Import resolved by GUID against already-deployed (or
+				// earlier-planned) Offcodes; nothing to load.
+				if _, err := rt.lookupImportPlaced(imp, placed); err != nil {
+					return fmt.Errorf("core: %s: %w", o.BindName, err)
+				}
+				continue
+			}
+			if err := visit(imp.File, stack); err != nil {
+				return err
+			}
+		}
+		delete(stack, p)
+		return nil
+	}
+	if err := visit(path, map[string]bool{}); err != nil {
+		return nil, nil, err
+	}
+	return docs, order, nil
+}
+
+// placedSet tracks the Offcodes earlier roots of the same plan will have
+// deployed, so later roots solve against the full planned state without
+// any hardware having been touched yet. Indexed by bind name and by GUID,
+// mirroring how deployed handles resolve imports.
+type placedSet struct {
+	byBind map[string]placedInfo
+	byGUID map[guid.GUID]placedInfo
+}
+
+type placedInfo struct {
+	bind string
+	dev  *device.Device // nil = host placement
+	path string
+}
+
+func newPlacedSet() *placedSet {
+	return &placedSet{
+		byBind: make(map[string]placedInfo),
+		byGUID: make(map[guid.GUID]placedInfo),
+	}
+}
+
+// lookup resolves an import reference against the planned set, GUID first
+// like Runtime.lookupImport.
+func (ps *placedSet) lookup(imp odf.Reference) (placedInfo, bool) {
+	if imp.GUID.IsValid() {
+		if info, ok := ps.byGUID[imp.GUID]; ok {
+			return info, true
+		}
+	}
+	if imp.BindName != "" {
+		if info, ok := ps.byBind[imp.BindName]; ok {
+			return info, true
+		}
+	}
+	return placedInfo{}, false
+}
+
+// lookupImportPlaced resolves an import against deployed Offcodes first,
+// then against the plan's already-placed set.
+func (rt *Runtime) lookupImportPlaced(imp odf.Reference, placed *placedSet) (*Handle, error) {
+	if h, err := rt.lookupImport(imp); err == nil {
+		return h, nil
+	}
+	if placed != nil {
+		if _, ok := placed.lookup(imp); ok {
+			return nil, nil // planned but not yet instantiated: no handle yet
+		}
+	}
+	return nil, fmt.Errorf("unresolved import %s (GUID %v)", imp.BindName, imp.GUID)
+}
+
+func (rt *Runtime) lookupImport(imp odf.Reference) (*Handle, error) {
+	if imp.GUID.IsValid() {
+		if h, ok := rt.byGUID[imp.GUID]; ok {
+			return h, nil
+		}
+	}
+	if imp.BindName != "" {
+		if h, ok := rt.byBind[imp.BindName]; ok {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("unresolved import %s (GUID %v)", imp.BindName, imp.GUID)
+}
+
+// importInSet reports whether an import (possibly GUID-only) resolves to a
+// member of the new deployment set.
+func importInSet(imp odf.Reference, newSet map[string]bool) bool {
+	if imp.BindName != "" {
+		return newSet[imp.BindName]
+	}
+	return false
+}
+
+// solvedRoot is the pure front half of the pipeline for one root: the new
+// Offcodes in instantiation order (deepest imports first), their source
+// paths, the placement over a healthy-device snapshot, and the closure
+// members satisfied by existing or earlier-planned instances.
+type solvedRoot struct {
+	path, bind string
+	odfs       []*odf.ODF
+	paths      []string
+	placement  layout.Placement
+	devices    []*device.Device
+	reused     []string
+}
+
+// solveRoot runs steps 1–3 for the root at path: closure, layout graph,
+// resolution. It touches no hardware and consumes no simulated time.
+// placed carries the state earlier plan roots will have established and is
+// extended with this root's outcome.
+func (rt *Runtime) solveRoot(path string, placed *placedSet) (*solvedRoot, error) {
+	docs, order, err := rt.closure(path, placed)
+	if err != nil {
+		return nil, err
+	}
+	rootODF := docs[order[0]]
+	out := &solvedRoot{path: path, bind: rootODF.BindName}
+
+	// Layout graph over the *new* Offcodes only; deployed (or
+	// earlier-planned) ones keep their placement. Imports that resolve to
+	// existing instances are filtered out of the graph, but their
+	// Pull/Gang constraints still bind: they restrict the importer's
+	// compatibility vector below.
 	type pinned struct {
 		node int
 		imp  odf.Reference
-		peer *Handle
+		peer string         // bind name, for error messages
+		dev  *device.Device // nil = host placement
 	}
-	var odfs []*odf.ODF
 	var pins []pinned
 	newSet := make(map[string]bool)
 	for _, p := range order {
-		o := closure[p]
-		if _, exists := rt.byBind[o.BindName]; !exists {
+		o := docs[p]
+		_, deployed := rt.byBind[o.BindName]
+		_, planned := placed.byBind[o.BindName]
+		if !deployed && !planned {
 			newSet[o.BindName] = true
 		}
 	}
+	var srcPaths []string
 	for _, p := range order {
-		o := closure[p]
+		o := docs[p]
 		if !newSet[o.BindName] {
+			out.reused = append(out.reused, o.BindName)
 			continue
 		}
 		filtered := *o
 		filtered.Imports = nil
 		for _, imp := range o.Imports {
-			if (imp.BindName != "" && newSet[imp.BindName]) || importInSet(rt, imp, newSet) {
+			if (imp.BindName != "" && newSet[imp.BindName]) || importInSet(imp, newSet) {
 				filtered.Imports = append(filtered.Imports, imp)
 				continue
 			}
-			peer, err := rt.lookupImport(imp)
-			if err != nil {
-				k(nil, fmt.Errorf("core: %s: %w", o.BindName, err))
-				return
+			// Peer exists already (deployed) or will exist (planned).
+			if h, err := rt.lookupImport(imp); err == nil {
+				pins = append(pins, pinned{node: len(out.odfs), imp: imp, peer: h.BindName, dev: h.Device()})
+				continue
 			}
-			pins = append(pins, pinned{node: len(odfs), imp: imp, peer: peer})
+			if info, ok := placed.lookup(imp); ok {
+				pins = append(pins, pinned{node: len(out.odfs), imp: imp, peer: info.bind, dev: info.dev})
+				continue
+			}
+			return nil, fmt.Errorf("core: %s: unresolved import %s (GUID %v)", o.BindName, imp.BindName, imp.GUID)
 		}
-		odfs = append(odfs, &filtered)
+		out.odfs = append(out.odfs, &filtered)
+		srcPaths = append(srcPaths, p)
 	}
-	if len(odfs) == 0 {
-		// Everything already deployed; return the existing root handle.
-		rt.recordRoot(path, rootODF.BindName)
-		k(rt.byBind[rootODF.BindName], nil)
-		return
+	out.paths = srcPaths
+	if len(out.odfs) == 0 {
+		return out, nil // everything already deployed (or planned)
 	}
 
 	// Solve over the *available* targets only: a crashed or hung device is
@@ -85,26 +263,24 @@ func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
 	for _, d := range avail {
 		targets = append(targets, layout.Target{Name: d.Name(), Class: d.Class()})
 	}
-	graph, err := layout.FromODFs(odfs, targets, rt.cfg.Prices)
+	graph, err := layout.FromODFs(out.odfs, targets, rt.cfg.Prices)
 	if err != nil {
-		k(nil, err)
-		return
+		return nil, err
 	}
-	// Apply constraints against already-deployed peers by narrowing the
-	// importer's compatibility vector.
+	// Apply constraints against existing peers by narrowing the importer's
+	// compatibility vector.
 	for _, pin := range pins {
 		peerTarget := 0
-		if d := pin.peer.Device(); d != nil {
+		if pin.dev != nil {
 			for i, dev := range avail {
-				if dev == d {
+				if dev == pin.dev {
 					peerTarget = i + 1
 					break
 				}
 			}
 			if peerTarget == 0 {
-				k(nil, fmt.Errorf("core: %s: peer %s is placed on failed device %s",
-					odfs[pin.node].BindName, pin.peer.BindName, d.Name()))
-				return
+				return nil, fmt.Errorf("core: %s: peer %s is placed on failed device %s",
+					out.odfs[pin.node].BindName, pin.peer, pin.dev.Name())
 			}
 		}
 		node := &graph.Nodes[pin.node]
@@ -137,9 +313,8 @@ func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
 			ok = ok || c
 		}
 		if !ok {
-			k(nil, fmt.Errorf("core: %s: constraint %s against deployed peer %s is unsatisfiable",
-				node.BindName, pin.imp.Type, pin.peer.BindName))
-			return
+			return nil, fmt.Errorf("core: %s: constraint %s against deployed peer %s is unsatisfiable",
+				node.BindName, pin.imp.Type, pin.peer)
 		}
 	}
 	var placement layout.Placement
@@ -150,118 +325,42 @@ func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
 		placement, err = graph.SolveGreedy(rt.cfg.Objective)
 	}
 	if err != nil {
-		k(nil, fmt.Errorf("core: layout resolution: %w", err))
-		return
+		return nil, fmt.Errorf("core: layout resolution: %w", err)
 	}
 
-	// Offload each new Offcode in dependency order (imports first), then
-	// run the two-phase initialization.
-	var handles []*Handle
-	var offload func(i int)
-	offload = func(i int) {
-		if i == len(odfs) {
-			rt.initialize(handles, 0, func(err error) {
-				if err != nil {
-					k(nil, err)
-					return
-				}
-				rt.recordRoot(path, rootODF.BindName)
-				k(rt.byBind[rootODF.BindName], nil)
-			})
-			return
-		}
-		o := odfs[i]
-		var dev = (*deviceRef)(nil)
+	// Instantiation goes deepest imports first.
+	slices.Reverse(out.odfs)
+	slices.Reverse(out.paths)
+	slices.Reverse(placement)
+	out.placement = placement
+	out.devices = avail
+
+	// Extend the planned state for the roots that follow.
+	for i, o := range out.odfs {
+		var dev *device.Device
 		if t := placement[i]; t != 0 {
-			dev = &deviceRef{avail[t-1]}
+			dev = avail[t-1]
 		}
-		rt.instantiate(o, dev, func(h *Handle, err error) {
-			if err != nil {
-				k(nil, err)
-				return
-			}
-			handles = append(handles, h)
-			offload(i + 1)
-		})
+		info := placedInfo{bind: o.BindName, dev: dev, path: out.paths[i]}
+		placed.byBind[o.BindName] = info
+		placed.byGUID[o.GUID] = info
 	}
-	// Deploy deepest imports first.
-	reverse(odfs)
-	reversePlacement(placement, len(odfs))
-	offload(0)
+	return out, nil
 }
 
-// deviceRef wraps a device placement; nil means host placement.
-type deviceRef struct{ d *device.Device }
-
-// closure loads the ODF at path and, transitively, every import, returning
-// the documents keyed by path and a root-first order.
-func (rt *Runtime) closure(path string) (map[string]*odf.ODF, []string, error) {
-	docs := make(map[string]*odf.ODF)
-	var order []string
-	var visit func(p string, stack map[string]bool) error
-	visit = func(p string, stack map[string]bool) error {
-		if stack[p] {
-			return fmt.Errorf("core: import cycle through %s", p)
-		}
-		if _, seen := docs[p]; seen {
-			return nil
-		}
-		o, err := rt.depot.LoadODF(p)
-		if err != nil {
-			return err
-		}
-		docs[p] = o
-		order = append(order, p)
-		stack[p] = true
-		for _, imp := range o.Imports {
-			if imp.File == "" {
-				// Import resolved by GUID against already-deployed
-				// Offcodes; nothing to load.
-				if _, err := rt.lookupImport(imp); err != nil {
-					return fmt.Errorf("core: %s: %w", o.BindName, err)
-				}
-				continue
-			}
-			if err := visit(imp.File, stack); err != nil {
-				return err
-			}
-		}
-		delete(stack, p)
-		return nil
+// target returns the placement device for odfs[i] (nil = host).
+func (s *solvedRoot) target(i int) *deviceRef {
+	if t := s.placement[i]; t != 0 {
+		return &deviceRef{s.devices[t-1]}
 	}
-	if err := visit(path, map[string]bool{}); err != nil {
-		return nil, nil, err
-	}
-	return docs, order, nil
+	return nil
 }
 
-// importInSet reports whether an import (possibly GUID-only) resolves to a
-// member of the new deployment set.
-func importInSet(rt *Runtime, imp odf.Reference, newSet map[string]bool) bool {
-	if imp.BindName != "" {
-		return newSet[imp.BindName]
-	}
-	return false
-}
-
-func (rt *Runtime) lookupImport(imp odf.Reference) (*Handle, error) {
-	if imp.GUID.IsValid() {
-		if h, ok := rt.byGUID[imp.GUID]; ok {
-			return h, nil
-		}
-	}
-	if imp.BindName != "" {
-		if h, ok := rt.byBind[imp.BindName]; ok {
-			return h, nil
-		}
-	}
-	return nil, fmt.Errorf("unresolved import %s (GUID %v)", imp.BindName, imp.GUID)
-}
-
-// instantiate adapts, offloads and registers one Offcode (no Initialize yet).
-func (rt *Runtime) instantiate(o *odf.ODF, dev *deviceRef, k func(*Handle, error)) {
+// instantiate adapts, offloads and registers one Offcode (no Initialize
+// yet) under the owning application session.
+func (rt *Runtime) instantiate(app *App, o *odf.ODF, srcPath string, dev *deviceRef, k func(*Handle, error)) {
 	if _, dup := rt.byBind[o.BindName]; dup {
-		k(nil, fmt.Errorf("core: %s already deployed", o.BindName))
+		k(nil, fmt.Errorf("%w: %s already deployed", ErrDuplicateBind, o.BindName))
 		return
 	}
 	factory, ok := rt.depot.Factory(o.GUID)
@@ -270,10 +369,16 @@ func (rt *Runtime) instantiate(o *odf.ODF, dev *deviceRef, k func(*Handle, error
 		return
 	}
 
-	finishInstall := func(addr uint64, size int) {
+	finishInstall := func(addr uint64, size, devBytes int) {
+		freeDev := func() {
+			if devBytes > 0 && dev != nil {
+				dev.d.FreeMem(devBytes)
+			}
+		}
 		behaviourAny := factory()
 		behaviour, ok := behaviourAny.(Offcode)
 		if !ok {
+			freeDev()
 			k(nil, fmt.Errorf("core: factory for %s returned %T, not core.Offcode", o.BindName, behaviourAny))
 			return
 		}
@@ -281,12 +386,16 @@ func (rt *Runtime) instantiate(o *odf.ODF, dev *deviceRef, k func(*Handle, error
 		h := &Handle{
 			BindName: o.BindName, GUID: o.GUID, ODF: o,
 			behaviour: behaviour, imageAddr: addr, imageSize: size,
-			seq: rt.instSeq,
+			devMemBytes: devBytes, seq: rt.instSeq, srcPath: srcPath,
 		}
 		if dev != nil {
 			h.dev = dev.d
+			h.devMemGen = dev.d.MemGeneration()
 		}
-		node, err := rt.root.NewChild("offcode:"+o.BindName, func() error {
+		node, err := app.res.NewChild("offcode:"+o.BindName, func() error {
+			if h.devMemBytes > 0 && h.dev != nil && h.dev.MemGeneration() == h.devMemGen {
+				h.dev.FreeMem(h.devMemBytes)
+			}
 			if h.state == StateStarted {
 				h.state = StateStopped
 				return h.behaviour.Stop()
@@ -294,24 +403,39 @@ func (rt *Runtime) instantiate(o *odf.ODF, dev *deviceRef, k func(*Handle, error
 			return nil
 		})
 		if err != nil {
+			freeDev()
 			k(nil, err)
 			return
 		}
 		h.res = node
+		// Book the session's quotas: one Offcode, and the device memory
+		// the load took against the session's admission reservation.
+		if err := node.Charge(QuotaOffcodes, 1); err != nil {
+			node.Close()
+			k(nil, err)
+			return
+		}
+		if err := node.Charge(QuotaDeviceMemory, int64(devBytes)); err != nil {
+			node.Close()
+			k(nil, err)
+			return
+		}
 
 		// Every Offcode gets its default OOB channel (§3.2).
 		if err := rt.setupOOB(h); err != nil {
+			node.Close()
 			k(nil, err)
 			return
 		}
 		rt.byBind[o.BindName] = h
 		rt.byGUID[o.GUID] = h
+		app.adopt(h)
 		k(h, nil)
 	}
 
 	if dev == nil {
 		// Host placement: no linking against device firmware.
-		finishInstall(0, 0)
+		finishInstall(0, 0, 0)
 		return
 	}
 	obj, ok := rt.depot.Object(o.GUID)
@@ -320,12 +444,16 @@ func (rt *Runtime) instantiate(o *odf.ODF, dev *deviceRef, k func(*Handle, error
 		return
 	}
 	loader := rt.loaders[rt.cfg.Loader]
-	loader.Load(dev.d, obj, func(addr uint64, size int, err error) {
+	loader.Load(dev.d, obj, func(addr uint64, size, devBytes int, err error) {
 		if err != nil {
+			// Whatever the loader had already taken goes straight back.
+			if devBytes > 0 {
+				dev.d.FreeMem(devBytes)
+			}
 			k(nil, fmt.Errorf("core: loading %s onto %s: %w", o.BindName, dev.d.Name(), err))
 			return
 		}
-		finishInstall(addr, size)
+		finishInstall(addr, size, devBytes)
 	})
 }
 
@@ -427,26 +555,18 @@ func (rt *Runtime) StopOffcode(h *Handle) error {
 	return rt.stopHandle(h)
 }
 
-// stopHandle is the teardown shared by StopOffcode and failover (which
-// keeps the root records so it can redeploy them).
+// stopHandle is the teardown shared by StopOffcode, App.Close, commit
+// rollback and failover (which keeps the root records so it can redeploy
+// them).
 func (rt *Runtime) stopHandle(h *Handle) error {
 	err := h.res.Close() // closer transitions state and calls Stop
 	delete(rt.byBind, h.BindName)
 	delete(rt.byGUID, h.GUID)
+	if h.app != nil {
+		h.app.disown(h)
+	}
 	return err
 }
 
-func reverse(odfs []*odf.ODF) {
-	for i, j := 0, len(odfs)-1; i < j; i, j = i+1, j-1 {
-		odfs[i], odfs[j] = odfs[j], odfs[i]
-	}
-}
-
-func reversePlacement(p layout.Placement, n int) {
-	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
-		p[i], p[j] = p[j], p[i]
-	}
-}
-
-// Deployments reports how many Deploy calls have been made.
+// Deployments reports how many deployment commits have been made.
 func (rt *Runtime) Deployments() uint64 { return rt.deploys }

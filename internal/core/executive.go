@@ -5,6 +5,7 @@ import (
 
 	"hydra/internal/channel"
 	"hydra/internal/device"
+	"hydra/internal/resource"
 	"hydra/internal/sim"
 )
 
@@ -89,16 +90,34 @@ func (p *PIOProvider) Cost(channel.Config) CostMetric {
 // application (host) to the target device, choosing the cheapest provider
 // for the configuration, and connects the Offcode-side endpoint.
 // It returns the application endpoint, as in Figure 3.
+//
+// The channel is owned by the runtime root; session-scoped callers should
+// use App.CreateChannel, which additionally books the session's quotas.
 func (rt *Runtime) CreateChannel(cfg channel.Config, target *Handle) (*channel.Endpoint, *channel.Channel, error) {
+	return rt.createChannelUnder(rt.root, cfg, target, nil)
+}
+
+// createChannelUnder builds and connects a channel whose lifetime hangs off
+// owner; onClose, if non-nil, runs when the channel's resource node closes
+// (after the channel itself closed — used for quota release).
+func (rt *Runtime) createChannelUnder(owner *resource.Node, cfg channel.Config, target *Handle, onClose func()) (*channel.Endpoint, *channel.Channel, error) {
 	appEnd := channel.HostEndpoint(rt.host, "app→"+target.BindName)
 	ch, err := channel.New(rt.eng, rt.bus, cfg, appEnd)
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := rt.ConnectOffcode(ch, target); err != nil {
+		ch.Close()
 		return nil, nil, err
 	}
-	if _, err := rt.root.NewChild("channel:"+appEnd.Name(), func() error { ch.Close(); return nil }); err != nil {
+	if _, err := owner.NewChild("channel:"+appEnd.Name(), func() error {
+		ch.Close()
+		if onClose != nil {
+			onClose()
+		}
+		return nil
+	}); err != nil {
+		ch.Close()
 		return nil, nil, err
 	}
 	return appEnd, ch, nil

@@ -259,8 +259,9 @@ func (rt *Runtime) failover(failed *device.Device, detected sim.Time, done func(
 		}
 	}
 
-	// Redeploy sequentially; Deploy re-solves the layout over the healthy
-	// devices and initialize() feeds the checkpoints back in.
+	// Redeploy sequentially — each root under the application session that
+	// owned it — re-solving the layout over the healthy devices while
+	// initialize() feeds the checkpoints back in.
 	rt.pendingRestore = states
 	var redeploy func(i int)
 	redeploy = func(i int) {
@@ -268,7 +269,11 @@ func (rt *Runtime) failover(failed *device.Device, detected sim.Time, done func(
 			finish(nil)
 			return
 		}
-		rt.Deploy(roots[i].path, func(_ *Handle, err error) {
+		owner := roots[i].app
+		if owner == nil || owner.closed {
+			owner = rt.defaultApp
+		}
+		owner.deployOne(roots[i].path, func(_ *Handle, err error) {
 			if err != nil {
 				finish(fmt.Errorf("core: failover redeploy %s: %w", roots[i].path, err))
 				return

@@ -10,42 +10,9 @@ import (
 	"hydra/internal/device"
 	"hydra/internal/guid"
 	"hydra/internal/hostos"
-	"hydra/internal/layout"
 	"hydra/internal/objfile"
-	"hydra/internal/odf"
 	"hydra/internal/sim"
 )
-
-// --- reverse helpers (deploy.go) ---
-
-func TestReverseODFs(t *testing.T) {
-	a, b, c := &odf.ODF{BindName: "a"}, &odf.ODF{BindName: "b"}, &odf.ODF{BindName: "c"}
-	odfs := []*odf.ODF{a, b, c}
-	reverse(odfs)
-	if odfs[0] != c || odfs[1] != b || odfs[2] != a {
-		t.Fatalf("reverse = %v", odfs)
-	}
-	single := []*odf.ODF{a}
-	reverse(single)
-	if single[0] != a {
-		t.Fatal("single-element reverse changed the slice")
-	}
-	reverse(nil)
-}
-
-func TestReversePlacement(t *testing.T) {
-	p := layout.Placement{1, 0, 2, 3}
-	reversePlacement(p, len(p))
-	if !reflect.DeepEqual(p, layout.Placement{3, 2, 0, 1}) {
-		t.Fatalf("reversed = %v", p)
-	}
-	// Partial reversal touches only the first n entries.
-	q := layout.Placement{1, 2, 3, 9}
-	reversePlacement(q, 3)
-	if !reflect.DeepEqual(q, layout.Placement{3, 2, 1, 9}) {
-		t.Fatalf("partial reversed = %v", q)
-	}
-}
 
 // --- lifecycle teardown ---
 

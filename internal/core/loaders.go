@@ -31,10 +31,13 @@ func (k LoaderKind) String() string {
 }
 
 // Loader installs an Offcode binary on a device. The result arrives via k
-// because transfer and device work take simulated time.
+// because transfer and device work take simulated time. devBytes reports
+// the total device-local memory the load allocated — the image plus any
+// loader-private staging (device-link holds the raw object too) — so
+// teardown can return exactly what was taken.
 type Loader interface {
 	Kind() LoaderKind
-	Load(d *device.Device, obj *objfile.Object, k func(addr uint64, size int, err error))
+	Load(d *device.Device, obj *objfile.Object, k func(addr uint64, size, devBytes int, err error))
 }
 
 // hostLinkLoader: link on the host, ship the placed image.
@@ -42,18 +45,22 @@ type hostLinkLoader struct{ rt *Runtime }
 
 func (l *hostLinkLoader) Kind() LoaderKind { return LoaderHostLink }
 
-func (l *hostLinkLoader) Load(d *device.Device, obj *objfile.Object, k func(uint64, int, error)) {
+func (l *hostLinkLoader) Load(d *device.Device, obj *objfile.Object, k func(uint64, int, int, error)) {
 	// 1. Size calculation + AllocateOffcodeMemory on the device, reached
 	//    through the device runtime's OOB path (small control exchange).
+	// devBytes is measured as the MemUsed delta so alignment padding is
+	// returned at teardown too.
+	memBefore := d.MemUsed()
 	addr, err := d.AllocMem(obj.Size())
 	if err != nil {
-		k(0, 0, err)
+		k(0, 0, d.MemUsed()-memBefore, err)
 		return
 	}
+	devBytes := d.MemUsed() - memBefore
 	// 2. Host-side link against the allocated base and firmware exports.
 	img, err := objfile.Link(obj, addr, d.Exports())
 	if err != nil {
-		k(0, 0, err)
+		k(0, 0, devBytes, err)
 		return
 	}
 	// Host CPU pays for the relocation pass (cheap) as kernel work.
@@ -63,11 +70,11 @@ func (l *hostLinkLoader) Load(d *device.Device, obj *objfile.Object, k func(uint
 		// 3. Transfer the placed image over the bus and store it.
 		l.rt.bus.Transfer(bus.MainMemory, d.Agent(), len(img), func() {
 			if err := d.WriteMem(addr, img); err != nil {
-				k(0, 0, err)
+				k(0, 0, devBytes, err)
 				return
 			}
 			// 4. Device-side "initialize and execute": trivial fixed cost.
-			d.Exec(5_000, func() { k(addr, len(img), nil) })
+			d.Exec(5_000, func() { k(addr, len(img), devBytes, nil) })
 		})
 	})
 }
@@ -77,38 +84,42 @@ type deviceLinkLoader struct{ rt *Runtime }
 
 func (l *deviceLinkLoader) Kind() LoaderKind { return LoaderDeviceLink }
 
-func (l *deviceLinkLoader) Load(d *device.Device, obj *objfile.Object, k func(uint64, int, error)) {
+func (l *deviceLinkLoader) Load(d *device.Device, obj *objfile.Object, k func(uint64, int, int, error)) {
 	encoded := obj.Encode() // raw object: bigger than the placed image
 	l.rt.bus.Transfer(bus.MainMemory, d.Agent(), len(encoded), func() {
 		// The device must hold the object *and* the placed image while
 		// linking — the resource cost the paper calls "quite expensive".
+		// devBytes is measured as the MemUsed delta (staging + image +
+		// alignment padding) so teardown returns exactly what was taken.
+		memBefore := d.MemUsed()
 		stage, err := d.AllocMem(len(encoded))
 		if err != nil {
-			k(0, 0, err)
+			k(0, 0, d.MemUsed()-memBefore, err)
 			return
 		}
 		if err := d.WriteMem(stage, encoded); err != nil {
-			k(0, 0, err)
+			k(0, 0, d.MemUsed()-memBefore, err)
 			return
 		}
 		addr, err := d.AllocMem(obj.Size())
 		if err != nil {
-			k(0, 0, err)
+			k(0, 0, d.MemUsed()-memBefore, err)
 			return
 		}
+		devBytes := d.MemUsed() - memBefore
 		// Device-side parse + relocation: slow embedded core.
 		linkCycles := uint64(20_000 + 2_000*len(obj.Relocs) + 10*len(encoded))
 		d.Exec(linkCycles, func() {
 			img, err := objfile.Link(obj, addr, d.Exports())
 			if err != nil {
-				k(0, 0, err)
+				k(0, 0, devBytes, err)
 				return
 			}
 			if err := d.WriteMem(addr, img); err != nil {
-				k(0, 0, err)
+				k(0, 0, devBytes, err)
 				return
 			}
-			d.Exec(5_000, func() { k(addr, len(img), nil) })
+			d.Exec(5_000, func() { k(addr, len(img), devBytes, nil) })
 		})
 	})
 }

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/guid"
+	"hydra/internal/layout"
+	"hydra/internal/sim"
+)
+
+// DeployPlan is the transactional replacement for the callback Deploy:
+// roots accumulate with AddRoot, Solve previews the placement without
+// touching hardware, and Commit deploys everything atomically — on a
+// partial failure every Offcode instantiated and every ring pinned by the
+// plan is rolled back, leaving the host memory ledger and the device
+// Offcode population exactly at their pre-plan values.
+type DeployPlan struct {
+	app       *App
+	roots     []planRoot
+	committed bool
+}
+
+type planRoot struct {
+	path string
+	bind string
+	g    guid.GUID
+}
+
+// RootOption tunes one AddRoot call.
+type RootOption func(*rootOpts)
+
+type rootOpts struct {
+	noReuse bool
+}
+
+// NoReuse makes AddRoot fail with ErrDuplicateBind even when the same ODF
+// is already deployed, instead of reusing the running instance — for
+// applications that require a private deployment.
+func NoReuse() RootOption {
+	return func(o *rootOpts) { o.noReuse = true }
+}
+
+// Plan starts an empty deployment plan for the session.
+func (a *App) Plan() *DeployPlan {
+	return &DeployPlan{app: a}
+}
+
+// App returns the owning session.
+func (p *DeployPlan) App() *App { return p.app }
+
+// Roots lists the accumulated root ODF paths in AddRoot order.
+func (p *DeployPlan) Roots() []string {
+	out := make([]string, 0, len(p.roots))
+	for _, r := range p.roots {
+		out = append(out, r.path)
+	}
+	return out
+}
+
+// AddRoot appends the ODF at path as a deployment root. The root's bind
+// name must be unique: a bind already deployed from a *different* ODF, or
+// already present in this plan, is rejected with ErrDuplicateBind — the
+// silent shadowing the callback pipeline allowed. Re-adding an ODF that is
+// already deployed from the same path reuses the running instance (the
+// paper's component reuse) unless the NoReuse option forbids it.
+func (p *DeployPlan) AddRoot(path string, opts ...RootOption) error {
+	if p.committed {
+		return fmt.Errorf("core: plan already committed")
+	}
+	if p.app.closed {
+		return fmt.Errorf("%w: %s", ErrAppClosed, p.app.name)
+	}
+	var o rootOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	doc, err := p.app.rt.depot.LoadODF(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range p.roots {
+		if r.bind == doc.BindName {
+			return fmt.Errorf("%w: %s already a root of this plan (from %s)",
+				ErrDuplicateBind, doc.BindName, r.path)
+		}
+	}
+	if existing, ok := p.app.rt.byBind[doc.BindName]; ok {
+		if existing.Pseudo() || existing.srcPath != path || o.noReuse {
+			from := existing.srcPath
+			if existing.Pseudo() {
+				from = "the runtime (pseudo Offcode)"
+			}
+			return fmt.Errorf("%w: %s is already deployed from %s",
+				ErrDuplicateBind, doc.BindName, from)
+		}
+	}
+	p.roots = append(p.roots, planRoot{path: path, bind: doc.BindName, g: doc.GUID})
+	return nil
+}
+
+// Assignment is one Offcode's placement decision in a Preview.
+type Assignment struct {
+	// BindName and GUID identify the Offcode.
+	BindName string
+	GUID     guid.GUID
+	// Path is the depot ODF the instance will be loaded from.
+	Path string
+	// Target is the placement: a device name, or "host".
+	Target string
+	// Root is the plan root whose closure brought this Offcode in.
+	Root string
+}
+
+// Preview is a solved plan: the placement every new Offcode would get,
+// computed without touching hardware or consuming simulated time.
+type Preview struct {
+	// Resolver and Objective echo the runtime configuration the solve used.
+	Resolver  Resolver
+	Objective layout.Objective
+	// Assignments lists the new Offcodes in instantiation order.
+	Assignments []Assignment
+	// Reused lists closure members satisfied by already-running instances.
+	Reused []string
+}
+
+// Solve resolves the plan's layout — ODF closures, constraint graph,
+// greedy or ILP placement — and returns the per-Offcode preview. Nothing
+// is instantiated, no device memory moves, and no simulated time passes;
+// Commit re-solves against the then-current device health, so a Preview is
+// a forecast, not a lease.
+func (p *DeployPlan) Solve() (*Preview, error) {
+	if p.committed {
+		return nil, fmt.Errorf("core: plan already committed")
+	}
+	if p.app.closed {
+		return nil, fmt.Errorf("%w: %s", ErrAppClosed, p.app.name)
+	}
+	solved, err := p.solveAll()
+	if err != nil {
+		return nil, err
+	}
+	return p.preview(solved), nil
+}
+
+func (p *DeployPlan) preview(solved []*solvedRoot) *Preview {
+	pre := &Preview{Resolver: p.app.rt.cfg.Resolver, Objective: p.app.rt.cfg.Objective}
+	for _, s := range solved {
+		for i, o := range s.odfs {
+			target := "host"
+			if ref := s.target(i); ref != nil {
+				target = ref.d.Name()
+			}
+			pre.Assignments = append(pre.Assignments, Assignment{
+				BindName: o.BindName, GUID: o.GUID, Path: s.paths[i],
+				Target: target, Root: s.bind,
+			})
+		}
+		pre.Reused = append(pre.Reused, s.reused...)
+	}
+	return pre
+}
+
+// solveAll runs the pure front half for every root in order, threading the
+// planned state so later roots see earlier ones as placed.
+func (p *DeployPlan) solveAll() ([]*solvedRoot, error) {
+	placed := newPlacedSet()
+	solved := make([]*solvedRoot, 0, len(p.roots))
+	for _, r := range p.roots {
+		s, err := p.app.rt.solveRoot(r.path, placed)
+		if err != nil {
+			return nil, fmt.Errorf("core: root %s: %w", r.bind, err)
+		}
+		solved = append(solved, s)
+	}
+	return solved, nil
+}
+
+// Deployment is the typed result of a Commit.
+type Deployment struct {
+	// App is the owning session.
+	App *App
+	// Handles maps each root bind name to its (new or reused) handle.
+	// Empty when the commit failed: the rollback revoked every handle.
+	Handles map[string]*Handle
+	// RootErrs records which root's subgraph failed a rolled-back commit.
+	RootErrs map[string]error
+	// Preview is the placement the commit executed.
+	Preview *Preview
+	// Started and Finished bracket the commit on the virtual clock.
+	Started, Finished sim.Time
+}
+
+// Commit executes the plan: every root's new Offcodes are offloaded,
+// initialized and started in dependency order, over simulated time. The
+// commit is atomic — if any instantiate, Initialize or Start fails, every
+// Offcode the plan created is stopped and every ring it pinned is
+// released, in reverse order, before the error is delivered — so a failed
+// Commit leaves hostos.LiveBytes and the runtime's Offcode population at
+// their pre-plan values. On success k receives the typed Deployment.
+func (p *DeployPlan) Commit(k func(*Deployment, error)) {
+	rt := p.app.rt
+	dep := &Deployment{
+		App:      p.app,
+		Handles:  make(map[string]*Handle),
+		RootErrs: make(map[string]error),
+		Started:  rt.eng.Now(),
+	}
+	fail := func(err error) {
+		dep.Handles = make(map[string]*Handle)
+		dep.Finished = rt.eng.Now()
+		k(dep, err)
+	}
+	if p.committed {
+		fail(fmt.Errorf("core: plan already committed"))
+		return
+	}
+	p.committed = true
+	if p.app.closed {
+		fail(fmt.Errorf("%w: %s", ErrAppClosed, p.app.name))
+		return
+	}
+	rt.deploys++
+
+	// Steps 1–3 (pure): re-solve now so the placement reflects current
+	// device health, not the health at Solve time.
+	solved, err := p.solveAll()
+	if err != nil {
+		fail(err)
+		return
+	}
+	dep.Preview = p.preview(solved)
+
+	// Admission against the session's Offcode quota happens before any
+	// hardware is touched: an over-quota plan is rejected wholesale. The
+	// probe charge validates the whole plan at once; each instantiated
+	// Offcode books its own unit afterwards.
+	newCount := int64(len(dep.Preview.Assignments))
+	if err := p.app.res.Charge(QuotaOffcodes, newCount); err != nil {
+		fail(fmt.Errorf("core: plan needs %d offcodes: %w", newCount, err))
+		return
+	}
+	p.app.res.Release(QuotaOffcodes, newCount)
+
+	// created tracks every handle the plan instantiates, across all roots,
+	// for whole-plan rollback.
+	var created []*Handle
+	var recorded []planRoot
+	rollback := func() {
+		for i := len(created) - 1; i >= 0; i-- {
+			rt.stopHandle(created[i])
+		}
+		for _, r := range recorded {
+			rt.forgetRoot(r.bind)
+		}
+	}
+
+	var commitRoot func(ri int)
+	commitRoot = func(ri int) {
+		if ri == len(solved) {
+			dep.Finished = rt.eng.Now()
+			k(dep, nil)
+			return
+		}
+		s := solved[ri]
+		finishRoot := func() {
+			h, ok := rt.byBind[s.bind]
+			if !ok {
+				rollback()
+				fail(fmt.Errorf("core: root %s vanished during commit", s.bind))
+				return
+			}
+			// Only roots whose record this commit actually added may be
+			// forgotten by a later rollback: a reused root's record
+			// belongs to the commit that created it.
+			if rt.recordRoot(s.path, s.bind, p.app) {
+				recorded = append(recorded, p.roots[ri])
+			}
+			dep.Handles[s.bind] = h
+			commitRoot(ri + 1)
+		}
+		if len(s.odfs) == 0 {
+			finishRoot() // fully reused root
+			return
+		}
+		rootHandles := make([]*Handle, 0, len(s.odfs))
+		var offload func(i int)
+		offload = func(i int) {
+			if i == len(s.odfs) {
+				rt.initialize(rootHandles, 0, func(err error) {
+					if err != nil {
+						rollback()
+						dep.RootErrs[s.bind] = err
+						fail(err)
+						return
+					}
+					finishRoot()
+				})
+				return
+			}
+			rt.instantiate(p.app, s.odfs[i], s.paths[i], s.target(i), func(h *Handle, err error) {
+				if err != nil {
+					rollback()
+					dep.RootErrs[s.bind] = err
+					fail(fmt.Errorf("core: root %s: %w", s.bind, err))
+					return
+				}
+				created = append(created, h)
+				rootHandles = append(rootHandles, h)
+				offload(i + 1)
+			})
+		}
+		offload(0)
+	}
+	commitRoot(0)
+}

@@ -151,6 +151,8 @@ type Device struct {
 
 	mem      []byte
 	memUsed  int
+	memFreed int
+	memGen   uint64
 	exports  map[string]uint64
 	busyTime sim.Time
 	busy     bool
@@ -298,6 +300,8 @@ func (d *Device) Restore() {
 			d.mem[i] = 0
 		}
 		d.memUsed = 0
+		d.memFreed = 0
+		d.memGen++
 	}
 	d.health = HealthOK
 }
@@ -391,8 +395,36 @@ func (d *Device) AllocMem(size int) (uint64, error) {
 	return uint64(base), nil
 }
 
-// MemUsed reports bytes of local memory allocated.
+// FreeMem returns size bytes to the local-memory ledger — the accounting
+// mirror of AllocMem, used when a deployed Offcode is stopped or rolled
+// back. Like the host allocator, addresses are never reused (the bump
+// pointer keeps layout deterministic); MemLive reflects the balance.
+// Frees never drive the ledger negative: a free of more than is live
+// (e.g. against a ledger a crash restore already wiped) clamps.
+func (d *Device) FreeMem(size int) {
+	if size <= 0 {
+		return
+	}
+	if d.memFreed+size > d.memUsed {
+		d.memFreed = d.memUsed
+		return
+	}
+	d.memFreed += size
+}
+
+// MemGeneration counts power-on resets of the memory ledger: it bumps
+// whenever a crash restore wipes local memory. Holders of allocation
+// accounting (Offcode teardown closers) free only when the generation
+// still matches the one they allocated under — a wiped ledger already
+// forgot them.
+func (d *Device) MemGeneration() uint64 { return d.memGen }
+
+// MemUsed reports lifetime bytes of local memory handed out by AllocMem.
 func (d *Device) MemUsed() int { return d.memUsed }
+
+// MemLive reports bytes currently held (AllocMem minus FreeMem) — Offcode
+// churn that leaks device memory shows up here as monotonic growth.
+func (d *Device) MemLive() int { return d.memUsed - d.memFreed }
 
 // WriteMem copies data into device memory at addr.
 func (d *Device) WriteMem(addr uint64, data []byte) error {

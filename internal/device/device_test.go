@@ -445,3 +445,44 @@ func TestGatherDMADroppedWhenUnhealthy(t *testing.T) {
 		t.Fatalf("dropped work = %d, want ≥ 2", d.DroppedWork())
 	}
 }
+
+// FreeMem never drives the ledger negative, and a crash restore bumps the
+// memory generation so stale teardown accounting can be recognized.
+func TestFreeMemClampAndGeneration(t *testing.T) {
+	_, _, _, d := rig()
+	gen := d.MemGeneration()
+	if _, err := d.AllocMem(1000); err != nil {
+		t.Fatal(err)
+	}
+	live := d.MemLive()
+	d.Crash()
+	d.Restore() // power-on reset wipes the ledger
+	if d.MemGeneration() != gen+1 {
+		t.Fatalf("generation = %d, want %d", d.MemGeneration(), gen+1)
+	}
+	if d.MemLive() != 0 {
+		t.Fatalf("MemLive after restore = %d", d.MemLive())
+	}
+	// A stale free against the wiped ledger clamps instead of going
+	// negative.
+	d.FreeMem(live)
+	if d.MemLive() != 0 {
+		t.Fatalf("MemLive after stale free = %d", d.MemLive())
+	}
+	// Hang + restore preserves memory and the generation.
+	if _, err := d.AllocMem(500); err != nil {
+		t.Fatal(err)
+	}
+	d.Hang()
+	d.Restore()
+	if d.MemGeneration() != gen+1 {
+		t.Fatal("hang restore bumped the memory generation")
+	}
+	if d.MemLive() < 500 {
+		t.Fatalf("hang restore lost memory: %d", d.MemLive())
+	}
+	d.FreeMem(200)
+	if got := d.MemLive(); got < 300 || got > 316 {
+		t.Fatalf("MemLive after partial free = %d", got)
+	}
+}

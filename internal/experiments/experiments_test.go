@@ -338,3 +338,40 @@ func TestX6FailoverDeterministicAndSweepSafe(t *testing.T) {
 		}
 	}
 }
+
+func TestX8ContentionShape(t *testing.T) {
+	r, err := RunContention(DefaultSeed, X8Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckContentionShape(r); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"X8", "admit", "reclaimed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestX8ContentionDeterministicAndSweepSafe(t *testing.T) {
+	serial, err := RunContentionWorkers(DefaultSeed, X8Duration, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunContentionWorkers(DefaultSeed, X8Duration, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial != parallel:\n%+v\n%+v", serial.Rows, parallel.Rows)
+	}
+	again, err := RunContentionWorkers(DefaultSeed, X8Duration, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, again) {
+		t.Fatal("fixed-seed X8 runs differ")
+	}
+}

@@ -15,12 +15,22 @@ import (
 
 // Node is one managed resource. Create children with NewChild; the zero
 // Node is not usable — obtain a root from NewRoot.
+//
+// A Node also carries quota accounting: Charge books usage of a named
+// resource kind (e.g. "memory", "channels") against this node and every
+// ancestor, failing with a *QuotaError if any node on the path has a limit
+// (SetLimit) that the charge would exceed. Intermediate nodes therefore
+// bound their whole subtree. Closing a node automatically releases
+// whatever its subtree still holds from the surviving ancestors.
 type Node struct {
 	name     string
 	closer   func() error
 	parent   *Node
 	children []*Node
 	closed   bool
+
+	limits map[string]int64
+	usage  map[string]int64
 }
 
 // NewRoot creates an unparented resource tree root.
@@ -74,6 +84,82 @@ func (n *Node) Children() []*Node {
 	return out
 }
 
+// QuotaError reports a Charge that would exceed a limit somewhere on the
+// path to the root.
+type QuotaError struct {
+	// Node is the path of the node whose limit would be exceeded.
+	Node string
+	// Kind is the resource kind being charged.
+	Kind string
+	// Limit, Used and Requested describe the rejected charge.
+	Limit, Used, Requested int64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("resource: %s: %s quota exceeded (%d used + %d requested > %d limit)",
+		e.Node, e.Kind, e.Used, e.Requested, e.Limit)
+}
+
+// SetLimit bounds the subtree's total usage of kind. A zero or negative
+// limit removes the bound.
+func (n *Node) SetLimit(kind string, limit int64) {
+	if limit <= 0 {
+		delete(n.limits, kind)
+		return
+	}
+	if n.limits == nil {
+		n.limits = make(map[string]int64)
+	}
+	n.limits[kind] = limit
+}
+
+// Limit reports the node's own limit for kind (0 = unlimited).
+func (n *Node) Limit(kind string) int64 { return n.limits[kind] }
+
+// Usage reports the subtree's current booked usage of kind.
+func (n *Node) Usage(kind string) int64 { return n.usage[kind] }
+
+// Charge books amount units of kind against this node and every ancestor.
+// If any node on the path has a limit the charge would exceed, nothing is
+// booked and a *QuotaError for the tightest offender is returned.
+func (n *Node) Charge(kind string, amount int64) error {
+	if amount < 0 {
+		return fmt.Errorf("resource: negative charge %d of %s", amount, kind)
+	}
+	if n.closed {
+		return fmt.Errorf("resource: %s is closed", n.Path())
+	}
+	for m := n; m != nil; m = m.parent {
+		if lim, ok := m.limits[kind]; ok && m.usage[kind]+amount > lim {
+			return &QuotaError{Node: m.Path(), Kind: kind,
+				Limit: lim, Used: m.usage[kind], Requested: amount}
+		}
+	}
+	for m := n; m != nil; m = m.parent {
+		if m.usage == nil {
+			m.usage = make(map[string]int64)
+		}
+		m.usage[kind] += amount
+	}
+	return nil
+}
+
+// Release returns amount units of kind booked by an earlier Charge on this
+// node (or a now-closed descendant). Releasing more than is booked clamps
+// at zero rather than going negative.
+func (n *Node) Release(kind string, amount int64) {
+	for m := n; m != nil; m = m.parent {
+		if m.usage == nil {
+			continue
+		}
+		if m.usage[kind] < amount {
+			m.usage[kind] = 0
+			continue
+		}
+		m.usage[kind] -= amount
+	}
+}
+
 // Close tears down the subtree: children in reverse creation order
 // (dependents were created after what they depend on), then this node's
 // closer. Every closer runs exactly once; all errors are joined.
@@ -94,6 +180,16 @@ func (n *Node) Close() error {
 			errs = append(errs, fmt.Errorf("%s: %w", n.Path(), err))
 		}
 	}
+	// Whatever the subtree still holds (children released theirs above)
+	// is returned to the surviving ancestors.
+	if n.parent != nil {
+		for kind, amt := range n.usage {
+			if amt > 0 {
+				n.parent.Release(kind, amt)
+			}
+		}
+	}
+	n.usage = nil
 	if n.parent != nil {
 		n.parent.forget(n)
 	}

@@ -154,3 +154,153 @@ func TestAllClosedOnceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Quota accounting ---
+
+func TestQuotaEnforcedAtIntermediateNode(t *testing.T) {
+	root := NewRoot("root")
+	app := root.MustChild("app", nil)
+	app.SetLimit("memory", 100)
+	oc := app.MustChild("oc", nil)
+
+	// Charges on a leaf are checked against — and booked at — every
+	// ancestor, so the intermediate app node bounds its whole subtree.
+	if err := oc.Charge("memory", 60); err != nil {
+		t.Fatal(err)
+	}
+	sibling := app.MustChild("oc2", nil)
+	if err := sibling.Charge("memory", 30); err != nil {
+		t.Fatal(err)
+	}
+	err := sibling.Charge("memory", 20)
+	var qerr *QuotaError
+	if !errors.As(err, &qerr) {
+		t.Fatalf("err = %v, want *QuotaError", err)
+	}
+	if qerr.Node != "root/app" || qerr.Kind != "memory" || qerr.Limit != 100 || qerr.Used != 90 || qerr.Requested != 20 {
+		t.Fatalf("quota error = %+v", qerr)
+	}
+	// A rejected charge books nothing anywhere.
+	if app.Usage("memory") != 90 || root.Usage("memory") != 90 || sibling.Usage("memory") != 30 {
+		t.Fatalf("usage after rejection: app=%d root=%d sib=%d",
+			app.Usage("memory"), root.Usage("memory"), sibling.Usage("memory"))
+	}
+
+	// The root may carry its own (tighter) limit above the app's.
+	root.SetLimit("memory", 95)
+	if err := oc.Charge("memory", 8); err == nil {
+		t.Fatal("root limit not enforced")
+	} else if !errors.As(err, &qerr) || qerr.Node != "root" {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Release unwinds the whole path.
+	oc.Release("memory", 60)
+	if app.Usage("memory") != 30 || root.Usage("memory") != 30 {
+		t.Fatalf("usage after release: app=%d root=%d", app.Usage("memory"), root.Usage("memory"))
+	}
+	// Zero/negative SetLimit removes the bound.
+	app.SetLimit("memory", 0)
+	if err := sibling.Charge("memory", 50); err != nil {
+		t.Fatalf("unlimited node still rejected: %v", err)
+	}
+}
+
+func TestQuotaReleasedWhenSubtreeCloses(t *testing.T) {
+	root := NewRoot("root")
+	app := root.MustChild("app", nil)
+	app.SetLimit("channels", 2)
+	ch1 := app.MustChild("ch1", nil)
+	if err := ch1.Charge("channels", 1); err != nil {
+		t.Fatal(err)
+	}
+	ch2 := app.MustChild("ch2", nil)
+	if err := ch2.Charge("channels", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Charge("channels", 1); err == nil {
+		t.Fatal("limit not enforced")
+	}
+	// Closing a charged node returns its booking to the ancestors.
+	if err := ch1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if app.Usage("channels") != 1 || root.Usage("channels") != 1 {
+		t.Fatalf("usage after child close: app=%d root=%d", app.Usage("channels"), root.Usage("channels"))
+	}
+	if _, err := app.NewChild("ch3", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the whole app subtree clears everything above it.
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if root.Usage("channels") != 0 {
+		t.Fatalf("root usage after subtree close = %d", root.Usage("channels"))
+	}
+	// Charging a closed node fails.
+	if err := ch2.Charge("channels", 1); err == nil {
+		t.Fatal("charge on closed node accepted")
+	}
+}
+
+// --- Close semantics the session layer depends on ---
+
+// Double Close is idempotent even when the closer errored the first time:
+// the closer runs exactly once and the second Close reports nil.
+func TestDoubleCloseIdempotentAfterCloserError(t *testing.T) {
+	boom := errors.New("boom")
+	runs := 0
+	root := NewRoot("root")
+	n := root.MustChild("n", func() error { runs++; return boom })
+	if err := n.Close(); !errors.Is(err, boom) {
+		t.Fatalf("first close = %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("second close = %v", err)
+	}
+	if runs != 1 {
+		t.Fatalf("closer ran %d times", runs)
+	}
+	// Same at the root, with the failing node already gone.
+	if err := root.Close(); err != nil {
+		t.Fatalf("root close = %v", err)
+	}
+	if err := root.Close(); err != nil {
+		t.Fatalf("root re-close = %v", err)
+	}
+}
+
+// A grandchild's closer error propagates through every level of Close and
+// names the failing node's path, while the rest of the subtree still
+// closes completely.
+func TestCloserErrorPropagatesThroughSubtree(t *testing.T) {
+	boom := errors.New("deep failure")
+	var closed []string
+	note := func(name string, err error) func() error {
+		return func() error { closed = append(closed, name); return err }
+	}
+	root := NewRoot("rt")
+	app := root.MustChild("app", note("app", nil))
+	oc := app.MustChild("oc", note("oc", nil))
+	oc.MustChild("chan", note("chan", boom))
+	app.MustChild("pin", note("pin", nil))
+
+	err := root.Close()
+	if !errors.Is(err, boom) {
+		t.Fatalf("close = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "rt/app/oc/chan") {
+		t.Fatalf("error does not name the failing node: %v", err)
+	}
+	// Every closer still ran, children before parents.
+	want := []string{"pin", "chan", "oc", "app"}
+	if len(closed) != len(want) {
+		t.Fatalf("closed = %v", closed)
+	}
+	for i := range want {
+		if closed[i] != want[i] {
+			t.Fatalf("closed = %v, want %v", closed, want)
+		}
+	}
+}

@@ -45,10 +45,20 @@ type HostSystem struct {
 	// Depot and Runtime are non-nil iff the HostSpec declared a runtime.
 	Depot   *depot.Depot
 	Runtime *core.Runtime
+	// Apps holds the opened application sessions in declaration order.
+	Apps []*core.App
 	// Monitor is the running health monitor, if the HostSpec asked for one.
 	Monitor *core.Monitor
 	// IdleLoad is the running background load, if the HostSpec started one.
 	IdleLoad *hostos.IdleLoad
+}
+
+// App returns the host's application session with the given name, or nil.
+func (h *HostSystem) App(name string) *core.App {
+	if h.Runtime == nil {
+		return nil
+	}
+	return h.Runtime.App(name)
 }
 
 // Device returns the host device with the given name, or nil.
@@ -187,11 +197,23 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 			for _, d := range hs.Devices {
 				hs.Runtime.RegisterDevice(d)
 			}
+			for _, as := range h.Apps {
+				if as.Name == "" {
+					return nil, fmt.Errorf("testbed: host %q declares an unnamed app", h.Name)
+				}
+				app, err := hs.Runtime.OpenApp(as.Name, as.Config)
+				if err != nil {
+					return nil, fmt.Errorf("testbed: host %q: %w", h.Name, err)
+				}
+				hs.Apps = append(hs.Apps, app)
+			}
 			if h.Monitor != nil {
 				hs.Monitor = hs.Runtime.StartMonitor(*h.Monitor)
 			}
 		} else if h.Monitor != nil {
 			return nil, fmt.Errorf("testbed: host %q declares a Monitor but no Runtime", h.Name)
+		} else if len(h.Apps) > 0 {
+			return nil, fmt.Errorf("testbed: host %q declares Apps but no Runtime", h.Name)
 		}
 		if h.IdleLoad != nil {
 			hs.IdleLoad = hs.Machine.StartIdleLoad(*h.IdleLoad)

@@ -129,6 +129,12 @@ type HostSpec struct {
 	// Offcode depot, with every declared device registered as an offload
 	// target. nil hosts get neither (pure traffic generators / baselines).
 	Runtime *core.Config
+	// Apps declares application sessions to open on the runtime (requires
+	// Runtime), in order, so multi-tenant workloads are topology data:
+	// each entry becomes a core.App with its quotas and device-memory
+	// admission reservation already applied. Sessions are opened after
+	// every device is registered, so admission sees the full capacity.
+	Apps []AppSpec
 	// Monitor, when non-nil (requires Runtime), starts the runtime health
 	// monitor over the host's devices: heartbeat probing, failure
 	// detection, and automatic Offcode migration onto surviving targets.
@@ -136,6 +142,15 @@ type HostSpec struct {
 	// IdleLoad, when non-nil, starts background daemons after construction
 	// (the paper's "idle system" baseline).
 	IdleLoad *hostos.IdleLoadConfig
+}
+
+// AppSpec declares one application session on a host's runtime.
+type AppSpec struct {
+	// Name identifies the session; must be unique on its host's runtime
+	// and non-empty.
+	Name string
+	// Config carries the session's quotas and admission reservation.
+	Config core.AppConfig
 }
 
 // DefaultIdleLoad returns a pointer to hostos.DefaultIdleLoad, the common

@@ -390,3 +390,52 @@ func TestBuildRejectsBadChannelProfiles(t *testing.T) {
 		t.Fatal("duplicate channel profile accepted")
 	}
 }
+
+func TestBuildOpensDeclaredApps(t *testing.T) {
+	sys, err := New(5, Spec{
+		Hosts: []HostSpec{{
+			Name:    "h",
+			Devices: []device.Config{device.XScaleNIC("n0")},
+			Runtime: &core.Config{},
+			Apps: []AppSpec{
+				{Name: "svc", Config: core.AppConfig{MemoryQuota: 1 << 20, DeviceMemory: 256 << 10}},
+				{Name: "bg"},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sys.Host("h")
+	if len(h.Apps) != 2 {
+		t.Fatalf("apps = %d", len(h.Apps))
+	}
+	svc := h.App("svc")
+	if svc == nil || svc.Config().MemoryQuota != 1<<20 {
+		t.Fatalf("svc session = %+v", svc)
+	}
+	if h.App("bg") == nil {
+		t.Fatal("bg session missing")
+	}
+	if h.App("ghost") != nil {
+		t.Fatal("unknown session resolved")
+	}
+	if got := h.Runtime.ReservedDeviceMemory(); got != 256<<10 {
+		t.Fatalf("reserved device memory = %d", got)
+	}
+
+	// Validation: sessions need a runtime; names must be present and unique.
+	if _, err := New(5, Spec{Hosts: []HostSpec{{Name: "h", Apps: []AppSpec{{Name: "x"}}}}}); err == nil {
+		t.Fatal("apps without runtime accepted")
+	}
+	if _, err := New(5, Spec{Hosts: []HostSpec{{
+		Name: "h", Runtime: &core.Config{}, Apps: []AppSpec{{Name: ""}},
+	}}}); err == nil {
+		t.Fatal("unnamed app accepted")
+	}
+	if _, err := New(5, Spec{Hosts: []HostSpec{{
+		Name: "h", Runtime: &core.Config{}, Apps: []AppSpec{{Name: "x"}, {Name: "x"}},
+	}}}); !errors.Is(err, core.ErrAppExists) {
+		t.Fatalf("duplicate app err = %v", err)
+	}
+}

@@ -57,7 +57,15 @@ type ClientHarness struct {
 	Decoder  *decoderOffcode
 	Display  *displayOffcode
 	DiskFile *diskFileOffcode
+
+	// deploy tracks the offloaded variant's commit outcome (the other
+	// variants never arm it).
+	deploy deployOutcome
 }
+
+// DeployErr reports how the offloaded client's deployment commit settled
+// (always nil for the other variants). Check it after the engine has run.
+func (h *ClientHarness) DeployErr() error { return h.deploy.Err() }
 
 // StartClient wires the chosen client variant into the testbed. The
 // returned harness exposes arrival times (jitter) and decode progress.
@@ -226,11 +234,13 @@ func (h *ClientHarness) runOffloaded() error {
 		return err
 	}
 
-	var deployErr error
-	deployed := false
-	tb.ClientRT.Deploy("/tivo/tivo.ClientStreamer.odf", func(handle *core.Handle, err error) {
-		deployErr = err
-		deployed = true
+	plan := tb.ClientApp.Plan()
+	if err := plan.AddRoot("/tivo/tivo.ClientStreamer.odf"); err != nil {
+		return err
+	}
+	settle := h.deploy.arm()
+	plan.Commit(func(dep *core.Deployment, err error) {
+		settle(dep, err)
 		if err != nil {
 			return
 		}
@@ -240,8 +250,7 @@ func (h *ClientHarness) runOffloaded() error {
 			h.Streamer.Packet(p.Payload)
 		})
 	})
-	_ = deployed
-	return deployErr
+	return nil
 }
 
 // VerifyPlacement asserts the Figure 8 layout after an offloaded-client

@@ -163,6 +163,9 @@ func RunFailoverScenario(seed int64, duration sim.Time, sched faults.Schedule) (
 	}
 	tb.Eng.Run(duration)
 
+	if err := harness.DeployErr(); err != nil {
+		return nil, err
+	}
 	run := &FailoverRun{
 		Arrivals:   client.Arrivals.Times,
 		Sent:       harness.TotalSent(),
@@ -178,6 +181,9 @@ func RunFailoverScenario(seed int64, duration sim.Time, sched faults.Schedule) (
 	}
 	if h.Device() == nil {
 		return nil, fmt.Errorf("tivopc: tivo.Server ended on the host")
+	}
+	if h.App() != tb.ServerApp {
+		return nil, fmt.Errorf("tivopc: migration moved tivo.Server out of the %s session", ServerAppName)
 	}
 	run.FinalNIC = h.Device().Name()
 	if run.Delivered() < 10 {

@@ -287,21 +287,21 @@ func stockServerOffcodes(tb *Testbed, stopAt sim.Time) (*serverStreamerOffcode, 
 	return streamer, nil
 }
 
-// runOffloaded deploys the server Offcodes through the HYDRA runtime and
-// lets them stream autonomously.
+// runOffloaded deploys the server Offcodes through the streaming service's
+// application session and lets them stream autonomously.
 func (h *ServerHarness) runOffloaded() error {
 	streamer, err := stockServerOffcodes(h.tb, h.stopAt)
 	if err != nil {
 		return err
 	}
-	var deployErr error
-	h.tb.ServerRT.Deploy("/tivo/tivo.Server.odf", func(handle *core.Handle, err error) {
-		deployErr = err
-	})
-	// Deployment completes within the first simulated millisecond; the
-	// caller runs the engine. Record sends through the streamer.
+	plan := h.tb.ServerApp.Plan()
+	if err := plan.AddRoot("/tivo/tivo.Server.odf"); err != nil {
+		return err
+	}
+	// The commit completes within the first simulated millisecond once the
+	// caller runs the engine; its outcome is checked via DeployErr then.
+	plan.Commit(h.deploy.arm())
 	h.offloadedStreamer = streamer
-	_ = deployErr
 	return nil
 }
 

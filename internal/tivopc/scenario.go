@@ -45,16 +45,22 @@ func RunServerScenario(kind ServerKind, seed int64, duration sim.Time) (*ServerR
 	cpu := tb.Server.SampleUtilization(SampleInterval)
 	miss := tb.Server.SampleKernelMissRate(SampleInterval)
 
+	var srv *ServerHarness
 	if kind != 0 {
-		h, err := StartServer(tb, kind, duration)
+		srv, err = StartServer(tb, kind, duration)
 		if err != nil {
 			return nil, err
 		}
-		defer func() { run.Sent = h.TotalSent() }()
+		defer func() { run.Sent = srv.TotalSent() }()
 	}
 
 	tb.Eng.Run(duration)
 
+	if srv != nil {
+		if err := srv.DeployErr(); err != nil {
+			return nil, err
+		}
+	}
 	run.JitterGaps = client.Arrivals.Gaps()
 	// Drop the first window (deployment + cold caches).
 	if len(cpu.Samples) > 1 {
@@ -94,8 +100,9 @@ func RunClientScenario(kind ClientKind, seed int64, duration sim.Time) (*ClientR
 	if err != nil {
 		return nil, err
 	}
+	var srv *ServerHarness
 	if kind != IdleClient {
-		if _, err := StartServer(tb, OffloadedServer, duration); err != nil {
+		if srv, err = StartServer(tb, OffloadedServer, duration); err != nil {
 			return nil, err
 		}
 	}
@@ -105,6 +112,14 @@ func RunClientScenario(kind ClientKind, seed int64, duration sim.Time) (*ClientR
 
 	tb.Eng.Run(duration)
 
+	if err := client.DeployErr(); err != nil {
+		return nil, err
+	}
+	if srv != nil {
+		if err := srv.DeployErr(); err != nil {
+			return nil, err
+		}
+	}
 	if len(cpu.Samples) > 1 {
 		run.CPUSamples = cpu.Samples[1:]
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hydra/internal/cache"
+	"hydra/internal/core"
 	"hydra/internal/nfs"
 	"hydra/internal/sim"
 )
@@ -48,7 +49,45 @@ type ServerHarness struct {
 	// lives on the device.
 	offloadedStreamer *serverStreamerOffcode
 
+	// deploy tracks the offloaded variant's commit outcome (host
+	// variants never arm it).
+	deploy deployOutcome
+
 	stopAt sim.Time
+}
+
+// DeployErr reports how the offloaded variant's deployment commit settled
+// (always nil for the host variants). Check it after the engine has run.
+func (h *ServerHarness) DeployErr() error { return h.deploy.Err() }
+
+// deployOutcome tracks one plan commit that settles on the virtual clock.
+// arm() returns the callback to hand plan.Commit; Err is only meaningful
+// once the engine has run past the commit.
+type deployOutcome struct {
+	pending bool
+	done    bool
+	err     error
+}
+
+func (o *deployOutcome) arm() func(*core.Deployment, error) {
+	o.pending = true
+	return func(_ *core.Deployment, err error) {
+		o.err = err
+		o.done = true
+	}
+}
+
+// Err reports the settled commit outcome: nil when never armed, an
+// in-flight error when the engine has not reached the commit's completion
+// yet, the commit's own error otherwise.
+func (o *deployOutcome) Err() error {
+	if !o.pending {
+		return nil
+	}
+	if !o.done {
+		return fmt.Errorf("tivopc: deployment still in flight")
+	}
+	return o.err
 }
 
 // TotalSent reports chunks transmitted regardless of variant.

@@ -41,6 +41,16 @@ const (
 	RecordPath  = "/recordings/demo.rec"
 )
 
+// Application session names declared by SystemSpec: the streaming service
+// and its client run as first-class sessions, and the server carries a
+// second session for the competing background application of the
+// contended scenario.
+const (
+	ServerAppName     = "tivo-server"
+	ClientAppName     = "tivo-client"
+	BackgroundAppName = "background"
+)
+
 // MovieConfig is the encoded stream profile.
 func MovieConfig() mpeg.Config { return mpeg.Config{W: 320, H: 240, GOPSize: 12, BGap: 2} }
 
@@ -98,6 +108,10 @@ type Testbed struct {
 	ServerStation *netsim.Station
 	ServerDepot   *depot.Depot
 	ServerRT      *core.Runtime
+	// ServerApp and BackgroundApp are the server runtime's two declared
+	// sessions: the streaming service and the contended-scenario tenant.
+	ServerApp     *core.App
+	BackgroundApp *core.App
 
 	Client            *hostos.Machine
 	ClientBus         *bus.Bus
@@ -108,6 +122,7 @@ type Testbed struct {
 	ClientDiskStation *netsim.Station
 	ClientDepot       *depot.Depot
 	ClientRT          *core.Runtime
+	ClientApp         *core.App
 }
 
 // NASConfig models the evaluation NAS: an appliance with ~0.55 ms service
@@ -143,6 +158,15 @@ func SystemSpec(runFor sim.Time) testbed.Spec {
 				Devices:  []device.Config{device.XScaleNIC("server-nic")},
 				Stations: []string{"server"},
 				Runtime:  &core.Config{},
+				// Multi-tenant sessions as topology data: the streaming
+				// service and a competing background application are
+				// separate, individually accountable sessions on the same
+				// runtime (the background one deploys only in the
+				// contended scenario).
+				Apps: []testbed.AppSpec{
+					{Name: ServerAppName},
+					{Name: BackgroundAppName},
+				},
 				IdleLoad: testbed.DefaultIdleLoad(),
 			},
 			{
@@ -154,6 +178,7 @@ func SystemSpec(runFor sim.Time) testbed.Spec {
 				},
 				Stations: []string{"client", "client-disk"},
 				Runtime:  &core.Config{},
+				Apps:     []testbed.AppSpec{{Name: ClientAppName}},
 				IdleLoad: testbed.DefaultIdleLoad(),
 			},
 		},
@@ -187,6 +212,8 @@ func fromSystem(sys *testbed.System) *Testbed {
 		ServerStation:     sys.Station("server"),
 		ServerDepot:       server.Depot,
 		ServerRT:          server.Runtime,
+		ServerApp:         server.App(ServerAppName),
+		BackgroundApp:     server.App(BackgroundAppName),
 		Client:            client.Machine,
 		ClientBus:         client.Bus,
 		ClientNIC:         client.Device("client-nic"),
@@ -196,6 +223,7 @@ func fromSystem(sys *testbed.System) *Testbed {
 		ClientDiskStation: sys.Station("client-disk"),
 		ClientDepot:       client.Depot,
 		ClientRT:          client.Runtime,
+		ClientApp:         client.App(ClientAppName),
 	}
 }
 

@@ -114,6 +114,24 @@ func TestSmokeBinaries(t *testing.T) {
 		}
 	})
 
+	t.Run("tivopc-background", func(t *testing.T) {
+		out := runBinary(t, bin, "cmd/tivopc", "-seconds", "10", "-background")
+		for _, want := range []string{"background session", "teardown reclaimed", "stream jitter"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("contended output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("quickstart-session", func(t *testing.T) {
+		out := runBinary(t, bin, "examples/quickstart")
+		for _, want := range []string{"plan: hydra.net.utils.Checksum → nic0", "session closed: reclaimed"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("quickstart session output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("chan-saturate", func(t *testing.T) {
 		batched := runBinary(t, bin, "cmd/chan-saturate",
 			"-rate", "20000", "-batch", "16", "-coalesce", "200us", "-seconds", "0.5")

@@ -303,6 +303,30 @@ func BenchmarkX8Contention(b *testing.B) {
 	}
 }
 
+func BenchmarkX9Cluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCluster(experiments.DefaultSeed, experiments.X9Duration)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckClusterShape(r); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				switch row.Scenario {
+				case "1 host":
+					b.ReportMetric(row.MsgsPerSec, "msgs/s-1h")
+				case "4 hosts":
+					b.ReportMetric(row.MsgsPerSec, "msgs/s-4h")
+				case "4 hosts, kill h3":
+					b.ReportMetric(row.MigrationMS, "migration-ms")
+				}
+			}
+		}
+	}
+}
+
 // --- Framework microbenchmarks ---
 
 func BenchmarkChannelMessageHostToDevice(b *testing.B) {

@@ -1,0 +1,61 @@
+// Command cluster-shard runs a single X9 cluster-sharding cell with
+// user-chosen knobs: host count, shard count, inter-host link latency, and
+// an optional whole-host kill at half time. It prints the solved placement
+// outcome — aggregate and per-shard throughput, cross-host bridge traffic,
+// and (with -kill) the cross-host migration record.
+//
+// Usage:
+//
+//	cluster-shard [-hosts N] [-shards N] [-latency D] [-duration D] [-kill] [-seed N]
+//
+// Examples:
+//
+//	cluster-shard -hosts 4 -shards 8                 # the X9 headline cell
+//	cluster-shard -hosts 4 -latency 5ms              # latency-bound remote shards
+//	cluster-shard -hosts 4 -kill                     # migrate a dead machine's shards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"hydra/internal/cluster"
+	"hydra/internal/experiments"
+	"hydra/internal/sim"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 4, "backend host count (1 NIC each)")
+	shards := flag.Int("shards", 8, "shard worker count")
+	latency := flag.Duration("latency", 20*time.Microsecond, "one-way inter-host link latency")
+	duration := flag.Duration("duration", 4*time.Second, "simulated run length")
+	kill := flag.Bool("kill", false, "fail the last host at half time and migrate its shards")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	flag.Parse()
+	if *hosts < 1 || *shards < 1 {
+		log.Fatal("cluster-shard: -hosts and -shards must be ≥ 1")
+	}
+	if *kill && *hosts < 2 {
+		log.Fatal("cluster-shard: -kill needs at least 2 hosts to migrate onto")
+	}
+
+	link := cluster.Link{Latency: sim.Time(latency.Nanoseconds()), BytesPerSec: 125e6}
+	dur := sim.Time(duration.Nanoseconds())
+	row, err := experiments.RunClusterCell(*seed, dur, *hosts, *shards, link, *kill)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cluster-shard: %d shards over %d hosts, %v link latency, %v simulated\n",
+		*shards, *hosts, *latency, *duration)
+	fmt.Printf("  aggregate: %d msgs (%.0f msgs/s), per-shard min/max %d/%d\n",
+		row.Total, row.MsgsPerSec, row.MinShard, row.MaxShard)
+	fmt.Printf("  bridges: %d cross-host, %d relayed, %d dropped\n",
+		row.CrossBridges, row.Bridged, row.Dropped)
+	if *kill {
+		fmt.Printf("  migration: %d shards moved off h%d in %.2f ms; %d msgs after resume\n",
+			row.Moved, *hosts-1, row.MigrationMS, row.PostKillMsgs)
+	}
+}

@@ -1,0 +1,137 @@
+// Command docslint is the repository's documentation linter, run by CI's
+// docs-lint step alongside go vet. It enforces two invariants:
+//
+//  1. Every relative markdown link in the top-level docs (README.md,
+//     DESIGN.md, CHANGES.md, ROADMAP.md and every examples/*/README.md)
+//     resolves to a file or directory that actually exists — stale links
+//     are the fastest way for a docs pass to rot.
+//  2. Every package under internal/ carries a package-level doc comment in
+//     at least one of its files, so `go doc` always has something to say
+//     about every layer of the architecture.
+//
+// Usage:
+//
+//	docslint [-root dir]
+//
+// Exits non-zero with one line per violation; prints "docslint: ok" with
+// counters when the tree is clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are rare in this repo and intentionally out of scope.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+
+	var problems []string
+	links := checkLinks(*root, &problems)
+	pkgs := checkPackageDocs(*root, &problems)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docslint:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docslint: ok (%d links across the doc set, %d internal packages documented)\n",
+		links, pkgs)
+}
+
+// docFiles lists the markdown files under lint.
+func docFiles(root string) []string {
+	files := []string{"README.md", "DESIGN.md", "CHANGES.md", "ROADMAP.md"}
+	matches, _ := filepath.Glob(filepath.Join(root, "examples", "*", "README.md"))
+	sort.Strings(matches)
+	out := make([]string, 0, len(files)+len(matches))
+	for _, f := range files {
+		out = append(out, filepath.Join(root, f))
+	}
+	return append(out, matches...)
+}
+
+// checkLinks validates every relative link target, returning how many
+// links it examined.
+func checkLinks(root string, problems *[]string) int {
+	total := 0
+	for _, path := range docFiles(root) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) && filepath.Base(path) != "README.md" {
+				continue // optional doc
+			}
+			*problems = append(*problems, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			total++
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue // external or intra-document
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				*problems = append(*problems,
+					fmt.Sprintf("%s: broken link %q (%s does not exist)", path, m[1], resolved))
+			}
+		}
+	}
+	return total
+}
+
+// checkPackageDocs walks internal/ and requires a package doc comment in
+// at least one non-test file per package, returning the package count.
+func checkPackageDocs(root string, problems *[]string) int {
+	dirs, err := filepath.Glob(filepath.Join(root, "internal", "*"))
+	if err != nil {
+		*problems = append(*problems, err.Error())
+		return 0
+	}
+	sort.Strings(dirs)
+	count := 0
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		count++
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			*problems = append(*problems, fmt.Sprintf("%s: %v", dir, err))
+			continue
+		}
+		documented := false
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+				}
+			}
+		}
+		if !documented {
+			*problems = append(*problems,
+				fmt.Sprintf("%s: package has no package-level doc comment in any file", dir))
+		}
+	}
+	return count
+}

@@ -11,12 +11,16 @@
 // pool. Per-seed results are bit-identical; only the wall clock differs.
 //
 // The -scenario flag runs a single experiment by name (e.g. -scenario
-// x6-failover, or the alias x8 for x8-contention), which makes iterating
-// on one table cheap. CI archives `-json -scenario x7-saturation` output
-// as the per-commit channel hot-path baseline (cycles/message, latency,
-// interrupts, event volume) and `-json -scenario x8-contention` as the
-// multi-app contention baseline (admissions, quota denials, per-app
-// throughput, teardown reclamation).
+// x6-failover, or the aliases x8/x9 for x8-contention/x9-cluster), which
+// makes iterating on one table cheap. CI archives `-json -scenario
+// x7-saturation` output as the per-commit channel hot-path baseline
+// (cycles/message, latency, interrupts, event volume), `-json -scenario
+// x8-contention` as the multi-app contention baseline (admissions, quota
+// denials, per-app throughput, teardown reclamation), and `-json -scenario
+// x9-cluster` as the cluster sharding baseline (per-cell throughput,
+// cross-host bridge counts, migration time). The x9 scenario runs its grid
+// twice — serial, then the Sweep pool — and fails unless the rows are
+// bit-identical.
 //
 // Usage:
 //
@@ -60,6 +64,9 @@ func main() {
 	flag.Parse()
 	if *scenario == "x8" { // short alias for the contention sweep
 		*scenario = "x8-contention"
+	}
+	if *scenario == "x9" { // short alias for the cluster sharding grid
+		*scenario = "x9-cluster"
 	}
 
 	duration := experiments.DefaultDuration
@@ -242,6 +249,41 @@ func main() {
 			m[key+"_leaked_bytes"] = float64(row.LeakedHostBytes)
 		}
 		return m, con.Render(), nil
+	})
+
+	timed("x9-cluster", func() (map[string]float64, string, error) {
+		// The cluster grid runs twice — serial loop, then the Sweep worker
+		// pool — and the rows must match bit for bit before they count.
+		serial, err := experiments.RunClusterWorkers(*seed, experiments.X9Duration, 1)
+		if err != nil {
+			return nil, "", err
+		}
+		parallel, err := experiments.RunClusterWorkers(*seed, experiments.X9Duration, 0)
+		if err != nil {
+			return nil, "", err
+		}
+		for i := range serial.Rows {
+			if serial.Rows[i] != parallel.Rows[i] {
+				return nil, "", fmt.Errorf("x9 determinism violated: serial %+v != sweep %+v",
+					serial.Rows[i], parallel.Rows[i])
+			}
+		}
+		if err := experiments.CheckClusterShape(parallel); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range parallel.Rows {
+			key := slug(row.Scenario)
+			m[key+"_msgs_per_sec"] = row.MsgsPerSec
+			m[key+"_total_msgs"] = float64(row.Total)
+			m[key+"_cross_bridges"] = float64(row.CrossBridges)
+			if row.Killed {
+				m[key+"_migration_ms"] = row.MigrationMS
+				m[key+"_moved"] = float64(row.Moved)
+			}
+		}
+		m["scaling_4h_over_1h"] = parallel.Rows[2].MsgsPerSec / parallel.Rows[0].MsgsPerSec
+		return m, parallel.Render() + "  (serial ≡ sweep verified bit-identical)\n", nil
 	})
 
 	if *scenario == "table2-jitter-sweep" && *sweepN <= 0 {

@@ -5,6 +5,12 @@
 // via the Channel Executive — owned and quota-accounted by the session —
 // install a callback handler, invoke the Offcode through a typed proxy,
 // and close the session, which reclaims everything it created.
+//
+// The next step up from this single-host flow is cluster deployment:
+// hydra.NewCluster opens a coordinator over a multi-host testbed, and a
+// ClusterPlan shards an Offcode graph across machines with inter-host
+// bridge channels and cross-host failover (see DESIGN.md's "Cluster
+// layer" and cmd/cluster-shard).
 package main
 
 import (

@@ -32,15 +32,25 @@
 // Offcode and pinned ring on partial failure. The callback
 // Runtime.Deploy remains as a deprecated shim over the default session.
 //
+// Above the single host, hydra.NewCluster opens a coordinator over every
+// runtime host of a multi-host testbed: a ClusterPlan shards an Offcode
+// graph across machines (AddRoot/Connect → Solve → Commit, with
+// cluster-wide rollback), cross-host edges materialize as Bridge
+// proxy-channel pairs over simulated inter-host links, and
+// Cluster.FailHost migrates a dead machine's checkpointed Offcodes onto
+// the surviving hosts.
+//
 // Scenario fleets run through hydra.Sweep: one engine per replica on a
 // worker pool, bit-identical to a serial loop.
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// See README.md for the quickstart, examples/ for complete programs and
+// DESIGN.md for the architecture.
 package hydra
 
 import (
 	"hydra/internal/bus"
 	"hydra/internal/channel"
+	"hydra/internal/cluster"
 	"hydra/internal/core"
 	"hydra/internal/depot"
 	"hydra/internal/device"
@@ -170,6 +180,42 @@ type (
 	Replica = testbed.Replica
 )
 
+// Cluster layer: multi-host Offcode graphs scheduled over every runtime
+// host of a testbed, inter-host proxy channels, and cross-host failover.
+type (
+	// Cluster is the coordinator scheduling Offcode graphs across the
+	// runtime hosts of a TestbedSystem (hydra.NewCluster).
+	Cluster = cluster.Coordinator
+	// ClusterConfig tunes the coordinator: per-host session quotas, the
+	// shard assignment resolver, link models and the bridge channel
+	// profile.
+	ClusterConfig = cluster.Config
+	// ClusterPlan is the cluster-wide transactional deployment: AddRoot
+	// and Connect accumulate a multi-host graph, Solve previews the host
+	// assignment, Commit deploys with cluster-wide rollback.
+	ClusterPlan = cluster.Plan
+	// ClusterPreview is a solved cluster plan: per-shard hosts, cut
+	// edges, link cost, and each host's device-level preview.
+	ClusterPreview = cluster.Preview
+	// ClusterDeployment is the typed result of ClusterPlan.Commit.
+	ClusterDeployment = cluster.Deployment
+	// ClusterRootOption tunes ClusterPlan.AddRoot (hydra.PinTo,
+	// hydra.WithLoad).
+	ClusterRootOption = cluster.RootOption
+	// Bridge materializes one cluster edge: a proxy-channel pair, plus a
+	// forwarder Offcode on each host when the edge crosses hosts.
+	Bridge = cluster.Bridge
+	// Link models an inter-host link: one-way latency plus bandwidth.
+	Link = cluster.Link
+	// LinkSpec overrides the link between one host pair.
+	LinkSpec = cluster.LinkSpec
+	// Traffic estimates a cluster edge's load for the placement solver.
+	Traffic = cluster.Traffic
+	// ClusterMigration records one host failure the coordinator healed
+	// from (Coordinator.FailHost / Migrations).
+	ClusterMigration = cluster.Migration
+)
+
 // Fault injection and self-healing: declarative fault schedules replayed by
 // a seeded injector, a runtime health monitor, and Offcode migration.
 type (
@@ -207,12 +253,15 @@ const (
 	BusDegrade = faults.BusDegrade
 	// BusOutage blocks a host bus for a duration.
 	BusOutage = faults.BusOutage
-	// HealthOK / HealthHung / HealthCrashed are device failure states.
-	HealthOK      = device.HealthOK
-	HealthHung    = device.HealthHung
+	// HealthOK is a healthy, work-executing device.
+	HealthOK = device.HealthOK
+	// HealthHung is wedged firmware (local memory survives a restart).
+	HealthHung = device.HealthHung
+	// HealthCrashed is a dead device (local memory lost on restart).
 	HealthCrashed = device.HealthCrashed
-	// SyncSequential / SyncConcurrent are channel handler dispatch modes.
+	// SyncSequential serializes channel handler invocations per endpoint.
 	SyncSequential = channel.SyncSequential
+	// SyncConcurrent dispatches each channel message as it arrives.
 	SyncConcurrent = channel.SyncConcurrent
 )
 
@@ -253,6 +302,16 @@ var (
 	NewRuntime = core.New
 	// NewFaultInjector creates a deterministic fault injector on an engine.
 	NewFaultInjector = faults.NewInjector
+	// NewCluster opens a cluster coordinator over every runtime host of a
+	// built testbed.
+	NewCluster = cluster.New
+	// DefaultClusterLink is the default inter-host link model (~20 µs,
+	// 1 Gb/s — the paper testbed's switched gigabit fabric).
+	DefaultClusterLink = cluster.DefaultLink
+	// PinTo forces a cluster root onto the named host.
+	PinTo = cluster.PinTo
+	// WithLoad sets a cluster root's placement weight (default 1).
+	WithLoad = cluster.WithLoad
 	// DefaultChannelConfig is the Figure 3 channel: reliable, zero-copy,
 	// sequential unicast.
 	DefaultChannelConfig = channel.DefaultConfig

@@ -134,6 +134,23 @@ type Stats struct {
 	Undelivered uint64
 }
 
+// Add accumulates other into s. Cluster bridges use it to merge the two
+// legs of a proxied inter-host channel into one stats surface, so batching
+// and coalescing remain observable end to end across the link.
+func (s *Stats) Add(other Stats) {
+	s.Sent += other.Sent
+	s.Delivered += other.Delivered
+	s.Dropped += other.Dropped
+	s.Queued += other.Queued
+	s.Bytes += other.Bytes
+	s.Interrupts += other.Interrupts
+	s.Batches += other.Batches
+	s.CoalesceFlushes += other.CoalesceFlushes
+	s.SGWrites += other.SGWrites
+	s.SGFragments += other.SGFragments
+	s.Undelivered += other.Undelivered
+}
+
 // Handler consumes a delivered payload.
 type Handler func(data []byte)
 

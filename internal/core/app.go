@@ -241,27 +241,37 @@ func (a *App) PinMemory(size int) (uint64, *resource.Node, error) {
 // channel against the channel quota plus the host-side ring footprint
 // against the memory quota. Closing the session closes the channel.
 func (a *App) CreateChannel(cfg channel.Config, target *Handle) (*channel.Endpoint, *channel.Channel, error) {
+	appEnd, ch, _, err := a.CreateChannelOwned(cfg, target)
+	return appEnd, ch, err
+}
+
+// CreateChannelOwned is CreateChannel returning, additionally, the resource
+// node that owns the channel. Closing that node closes the channel, frees
+// its ring memory and releases the session quotas it booked — for callers
+// (like a cluster bridge) that retire individual channels before the
+// session ends. Closing the session still closes the channel either way.
+func (a *App) CreateChannelOwned(cfg channel.Config, target *Handle) (*channel.Endpoint, *channel.Channel, *resource.Node, error) {
 	if a.closed {
-		return nil, nil, fmt.Errorf("%w: %s", ErrAppClosed, a.name)
+		return nil, nil, nil, fmt.Errorf("%w: %s", ErrAppClosed, a.name)
 	}
 	ring := int64(channel.RingFootprint(cfg))
 	if err := a.res.Charge(QuotaChannels, 1); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := a.res.Charge(QuotaMemory, ring); err != nil {
 		a.res.Release(QuotaChannels, 1)
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	appEnd, ch, err := a.rt.createChannelUnder(a.res, cfg, target, func() {
+	appEnd, ch, node, err := a.rt.createChannelUnder(a.res, cfg, target, func() {
 		a.res.Release(QuotaChannels, 1)
 		a.res.Release(QuotaMemory, ring)
 	})
 	if err != nil {
 		a.res.Release(QuotaChannels, 1)
 		a.res.Release(QuotaMemory, ring)
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return appEnd, ch, nil
+	return appEnd, ch, node, nil
 }
 
 // StopOffcode stops one of the session's Offcodes (and forgets its root,

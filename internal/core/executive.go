@@ -94,33 +94,36 @@ func (p *PIOProvider) Cost(channel.Config) CostMetric {
 // The channel is owned by the runtime root; session-scoped callers should
 // use App.CreateChannel, which additionally books the session's quotas.
 func (rt *Runtime) CreateChannel(cfg channel.Config, target *Handle) (*channel.Endpoint, *channel.Channel, error) {
-	return rt.createChannelUnder(rt.root, cfg, target, nil)
+	appEnd, ch, _, err := rt.createChannelUnder(rt.root, cfg, target, nil)
+	return appEnd, ch, err
 }
 
 // createChannelUnder builds and connects a channel whose lifetime hangs off
-// owner; onClose, if non-nil, runs when the channel's resource node closes
-// (after the channel itself closed — used for quota release).
-func (rt *Runtime) createChannelUnder(owner *resource.Node, cfg channel.Config, target *Handle, onClose func()) (*channel.Endpoint, *channel.Channel, error) {
+// owner, returning the owning resource node alongside; onClose, if non-nil,
+// runs when that node closes (after the channel itself closed — used for
+// quota release).
+func (rt *Runtime) createChannelUnder(owner *resource.Node, cfg channel.Config, target *Handle, onClose func()) (*channel.Endpoint, *channel.Channel, *resource.Node, error) {
 	appEnd := channel.HostEndpoint(rt.host, "app→"+target.BindName)
 	ch, err := channel.New(rt.eng, rt.bus, cfg, appEnd)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := rt.ConnectOffcode(ch, target); err != nil {
 		ch.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if _, err := owner.NewChild("channel:"+appEnd.Name(), func() error {
+	node, err := owner.NewChild("channel:"+appEnd.Name(), func() error {
 		ch.Close()
 		if onClose != nil {
 			onClose()
 		}
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		ch.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return appEnd, ch, nil
+	return appEnd, ch, node, nil
 }
 
 // ConnectOffcode attaches target's endpoint to an existing channel

@@ -285,6 +285,18 @@ func (rt *Runtime) failover(failed *device.Device, detected sim.Time, done func(
 	return rec
 }
 
+// StageRestore stages checkpointed Offcode state for the next deployment
+// of bind on this runtime: the deployment pipeline feeds it to the new
+// instance's Checkpointer.Restore between Initialize and Start, exactly as
+// local failover does. Cluster-level coordinators use this to migrate an
+// Offcode checkpointed on one host into a redeployment on another.
+func (rt *Runtime) StageRestore(bind string, state []byte) {
+	if rt.pendingRestore == nil {
+		rt.pendingRestore = make(map[string][]byte)
+	}
+	rt.pendingRestore[bind] = state
+}
+
 // abortMigration gives up on a stalled in-flight migration: the recovery is
 // marked failed, but its unrestored checkpoints stay in pendingRestore so
 // the next failover carries the state forward. The stalled Deploy

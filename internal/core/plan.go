@@ -182,6 +182,12 @@ type Deployment struct {
 	// Handles maps each root bind name to its (new or reused) handle.
 	// Empty when the commit failed: the rollback revoked every handle.
 	Handles map[string]*Handle
+	// Created lists every Offcode the commit instantiated — roots plus
+	// closure members, in instantiation order — so a higher-level
+	// transaction (a cluster commit spanning several runtimes) can unwind
+	// this deployment by stopping them in reverse. Empty on failure: the
+	// plan's own rollback already stopped them.
+	Created []*Handle
 	// RootErrs records which root's subgraph failed a rolled-back commit.
 	RootErrs map[string]error
 	// Preview is the placement the commit executed.
@@ -207,6 +213,7 @@ func (p *DeployPlan) Commit(k func(*Deployment, error)) {
 	}
 	fail := func(err error) {
 		dep.Handles = make(map[string]*Handle)
+		dep.Created = nil
 		dep.Finished = rt.eng.Now()
 		k(dep, err)
 	}
@@ -257,6 +264,7 @@ func (p *DeployPlan) Commit(k func(*Deployment, error)) {
 	var commitRoot func(ri int)
 	commitRoot = func(ri int) {
 		if ri == len(solved) {
+			dep.Created = append([]*Handle(nil), created...)
 			dep.Finished = rt.eng.Now()
 			k(dep, nil)
 			return

@@ -375,3 +375,40 @@ func TestX8ContentionDeterministicAndSweepSafe(t *testing.T) {
 		t.Fatal("fixed-seed X8 runs differ")
 	}
 }
+
+func TestX9ClusterShape(t *testing.T) {
+	r, err := RunCluster(DefaultSeed, X9Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckClusterShape(r); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"X9", "hosts", "moved in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestX9ClusterDeterministicAndSweepSafe(t *testing.T) {
+	serial, err := RunClusterWorkers(DefaultSeed, X9Duration, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunClusterWorkers(DefaultSeed, X9Duration, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial != parallel:\n%+v\n%+v", serial.Rows, parallel.Rows)
+	}
+	again, err := RunClusterWorkers(DefaultSeed, X9Duration, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, again) {
+		t.Fatal("fixed-seed X9 runs differ")
+	}
+}

@@ -256,6 +256,19 @@ func (sys *System) Host(name string) *HostSystem { return sys.hosts[name] }
 // Hosts returns every built host in declaration order.
 func (sys *System) Hosts() []*HostSystem { return sys.hostList }
 
+// RuntimeHosts returns the hosts that carry a HYDRA runtime, in
+// declaration order — the placement backends a cluster coordinator
+// schedules over. Pure traffic-generator hosts are excluded.
+func (sys *System) RuntimeHosts() []*HostSystem {
+	out := make([]*HostSystem, 0, len(sys.hostList))
+	for _, h := range sys.hostList {
+		if h.Runtime != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 // Device returns the device with the given name from any host, or nil.
 func (sys *System) Device(name string) *device.Device { return sys.devices[name] }
 

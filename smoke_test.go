@@ -54,8 +54,8 @@ func TestSmokeBinaries(t *testing.T) {
 
 	// Every main package must have produced a binary.
 	for _, name := range []string{
-		"cmd/chan-saturate", "cmd/hydra-bench", "cmd/layout-solve", "cmd/odflint",
-		"cmd/tivopc",
+		"cmd/chan-saturate", "cmd/cluster-shard", "cmd/docslint", "cmd/hydra-bench",
+		"cmd/layout-solve", "cmd/odflint", "cmd/tivopc",
 		"examples/layoutopt", "examples/packetfilter", "examples/quickstart",
 		"examples/storageindex", "examples/tivopc",
 	} {
@@ -144,6 +144,24 @@ func TestSmokeBinaries(t *testing.T) {
 			"-rate", "20000", "-batch", "1", "-seconds", "0.5")
 		if !strings.Contains(perMsg, "0 batches") {
 			t.Fatalf("per-message run should report no batches:\n%s", perMsg)
+		}
+	})
+
+	t.Run("cluster-shard", func(t *testing.T) {
+		out := runBinary(t, bin, "cmd/cluster-shard",
+			"-hosts", "2", "-shards", "4", "-duration", "1s", "-kill")
+		for _, want := range []string{"aggregate:", "bridges:", "shards moved off h1", "after resume"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("cluster-shard output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("docslint", func(t *testing.T) {
+		// Tests run with the package directory (the repo root) as cwd.
+		out := runBinary(t, bin, "cmd/docslint", "-root", ".")
+		if !strings.Contains(out, "docslint: ok") {
+			t.Fatalf("docslint did not pass:\n%s", out)
 		}
 	})
 

@@ -22,9 +22,18 @@
 // twice — serial, then the Sweep pool — and fails unless the rows are
 // bit-identical.
 //
+// Two scenarios gate the simulator core itself: `engine` runs the
+// chain/wide/churn microbenchmarks (events/sec and allocs/event for the
+// ladder queue + pooled events), and `x9-parallel` runs the
+// conservative-window cluster cell twice — window bodies on one worker,
+// then many — failing unless the rows match bit for bit. The -baseline
+// flag compares the current run's *_events_per_sec metrics against an
+// archived BENCH_*.json and fails on a >20% regression; CI runs
+// `-scenario engine -baseline BENCH_0006.json` per commit.
+//
 // Usage:
 //
-//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario name]
+//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario name] [-baseline file]
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"hydra/internal/experiments"
@@ -61,6 +71,7 @@ func main() {
 	sweepN := flag.Int("sweep", 8, "jitter-sweep replicas (0 disables the sweep scenario)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	scenario := flag.String("scenario", "", "run only the named scenario (e.g. x6-failover, x8)")
+	baseline := flag.String("baseline", "", "BENCH_*.json to compare against: fail if any *_events_per_sec metric regresses >20%")
 	flag.Parse()
 	if *scenario == "x8" { // short alias for the contention sweep
 		*scenario = "x8-contention"
@@ -286,6 +297,51 @@ func main() {
 		return m, parallel.Render() + "  (serial ≡ sweep verified bit-identical)\n", nil
 	})
 
+	timed("engine", func() (map[string]float64, string, error) {
+		eb, err := experiments.RunEngineBench(*seed, experiments.EngineBenchEvents)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := experiments.CheckEngineBenchShape(eb, experiments.EngineBenchEvents); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range eb.Rows {
+			key := slug(row.Scenario)
+			m[key+"_events"] = float64(row.Events)
+			m[key+"_canceled"] = float64(row.Canceled)
+			m[key+"_events_per_sec"] = row.EventsPerSec
+			m[key+"_allocs_per_event"] = row.AllocsPerEvent
+		}
+		return m, eb.Render(), nil
+	})
+
+	timed("x9-parallel", func() (map[string]float64, string, error) {
+		// The windowed cluster cell runs twice — window bodies serial,
+		// then parallel — and the rows must match bit for bit. Wall
+		// clocks are informational (1-CPU hosts cannot show a win).
+		pr, err := experiments.RunClusterParallel(*seed, experiments.X9Duration, *workers)
+		if err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{
+			"msgs_per_sec":  pr.Row.MsgsPerSec,
+			"total_msgs":    float64(pr.Row.Total),
+			"cross_bridges": float64(pr.Row.CrossBridges),
+			"bridged":       float64(pr.Row.Bridged),
+			"workers":       float64(pr.Workers),
+			"serial_ms":     pr.SerialMS,
+			"parallel_ms":   pr.ParallelMS,
+		}
+		rendered := fmt.Sprintf(
+			"X9p — Conservative-window parallel cluster: 4 per-host engines, %d shards\n"+
+				"  %.0f msgs/s over %d cross bridges; 1 worker ≡ %d workers bit-identical\n"+
+				"  wall-clock: serial windows %.0f ms, parallel %.0f ms (GOMAXPROCS %d)\n",
+			experiments.X9Shards, pr.Row.MsgsPerSec, pr.Row.CrossBridges, pr.Workers,
+			pr.SerialMS, pr.ParallelMS, runtime.GOMAXPROCS(0))
+		return m, rendered, nil
+	})
+
 	if *scenario == "table2-jitter-sweep" && *sweepN <= 0 {
 		check(fmt.Errorf("scenario table2-jitter-sweep is disabled by -sweep 0"))
 	}
@@ -298,11 +354,73 @@ func main() {
 		check(fmt.Errorf("unknown scenario %q", *scenario))
 	}
 
+	if *baseline != "" {
+		check(compareBaseline(rep, *baseline, verbose))
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		check(enc.Encode(rep))
 	}
+}
+
+// regressionBand is the events/sec floor relative to the committed
+// baseline: throughput metrics are wall-clock derived, so CI tolerates
+// up to a 20% dip before calling it a regression.
+const regressionBand = 0.8
+
+// compareBaseline checks every *_events_per_sec metric this run shares
+// with the archived report and errors if any fell below the band.
+// Scenario or metric keys present on only one side are ignored, so old
+// baselines stay usable as the suite grows.
+func compareBaseline(rep *report, path string, verbose bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseMetrics := map[string]map[string]float64{}
+	for _, s := range base.Scenarios {
+		baseMetrics[s.Name] = s.Metrics
+	}
+	var regressions []string
+	compared := 0
+	for _, s := range rep.Scenarios {
+		bm := baseMetrics[s.Name]
+		if bm == nil {
+			continue
+		}
+		for key, got := range s.Metrics {
+			if !strings.HasSuffix(key, "_events_per_sec") {
+				continue
+			}
+			want, ok := bm[key]
+			if !ok || want <= 0 {
+				continue
+			}
+			compared++
+			ratio := got / want
+			if verbose {
+				fmt.Printf("baseline %s/%s: %.0f vs %.0f events/s (%.2fx)\n", s.Name, key, got, want, ratio)
+			}
+			if ratio < regressionBand {
+				regressions = append(regressions,
+					fmt.Sprintf("%s/%s: %.0f events/s vs baseline %.0f (%.2fx < %.2fx)",
+						s.Name, key, got, want, ratio, regressionBand))
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s: no comparable *_events_per_sec metrics (ran scenarios: %d)", path, len(rep.Scenarios))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("baseline %s: throughput regressed:\n  %s", path, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // runSweep measures the multi-seed Table 2 jitter scenario twice — serial

@@ -151,21 +151,20 @@ func (s *Stats) Add(other Stats) {
 	s.Undelivered += other.Undelivered
 }
 
-// Handler consumes a delivered payload.
+// Handler consumes a delivered payload. The payload slice is borrowed:
+// it is valid only for the duration of the call, because the channel
+// recycles payload buffers once the handler returns (the zero-alloc
+// steady-state path). A handler that needs the bytes later must copy
+// them. Poll-mode reads (Read) own their slice outright.
 type Handler func(data []byte)
 
-// message is one queued payload; sizes is non-nil for scatter-gather sends
-// and records the original fragment lengths so the wire can gather them.
+// message is one queued payload; sizes is non-empty for scatter-gather
+// sends and records the original fragment lengths so the wire can gather
+// them. Messages and their buffers are pooled per channel: they travel
+// from Write through transmit/deliver and back to the free list.
 type message struct {
 	data  []byte
 	sizes []int
-}
-
-func (m *message) fragSizes() []int {
-	if m.sizes == nil {
-		return []int{len(m.data)}
-	}
-	return m.sizes
 }
 
 // Endpoint is one end of a channel.
@@ -193,7 +192,7 @@ type Endpoint struct {
 	// Batching state: messages credited but not yet flushed, plus the
 	// coalescing timer armed when the first of them arrived.
 	batchMsgs  []*message
-	batchTimer *sim.Event
+	batchTimer sim.Event
 }
 
 // Name identifies the endpoint for diagnostics.
@@ -219,6 +218,81 @@ type Channel struct {
 
 	stats  Stats
 	closed bool
+
+	// Free lists for the steady-state hot path: message envelopes (with
+	// their payload and fragment-size buffers) and the transient batch
+	// slices and gather size lists built per transmit. Everything cycles
+	// Write → transmit → deliver → free list, so a saturated channel
+	// stops allocating once warm. Poolable state only — an inbox
+	// delivery hands its payload buffer to the reader, so the envelope
+	// goes back bufferless.
+	msgFree   []*message
+	batchFree [][]*message
+	sizeFree  [][]int
+}
+
+// poolCap bounds each free list so an idle channel does not pin the
+// high-water mark of a past burst forever.
+const poolCap = 256
+
+func (c *Channel) getMsg() *message {
+	if n := len(c.msgFree); n > 0 {
+		m := c.msgFree[n-1]
+		c.msgFree[n-1] = nil
+		c.msgFree = c.msgFree[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+func (c *Channel) putMsg(m *message) {
+	m.data = m.data[:0]
+	m.sizes = m.sizes[:0]
+	if len(c.msgFree) < poolCap {
+		c.msgFree = append(c.msgFree, m)
+	}
+}
+
+func (c *Channel) getBatch() []*message {
+	if n := len(c.batchFree); n > 0 {
+		b := c.batchFree[n-1]
+		c.batchFree[n-1] = nil
+		c.batchFree = c.batchFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBatch recycles a delivered batch and its messages. keepData leaves
+// each payload buffer with its new owner (the poll-mode inbox) instead
+// of the pool.
+func (c *Channel) putBatch(b []*message, keepData bool) {
+	for i, m := range b {
+		if keepData {
+			m.data = nil
+		}
+		c.putMsg(m)
+		b[i] = nil
+	}
+	if len(c.batchFree) < poolCap {
+		c.batchFree = append(c.batchFree, b[:0])
+	}
+}
+
+func (c *Channel) getSizes() []int {
+	if n := len(c.sizeFree); n > 0 {
+		s := c.sizeFree[n-1]
+		c.sizeFree[n-1] = nil
+		c.sizeFree = c.sizeFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+func (c *Channel) putSizes(s []int) {
+	if len(c.sizeFree) < poolCap {
+		c.sizeFree = append(c.sizeFree, s[:0])
+	}
 }
 
 // New creates a channel owned by the creator endpoint.
@@ -316,10 +390,8 @@ func (c *Channel) Close() {
 		e.closed = true
 		c.stats.Undelivered += uint64(len(e.batchMsgs))
 		e.batchMsgs = nil
-		if e.batchTimer != nil {
-			e.batchTimer.Cancel()
-			e.batchTimer = nil
-		}
+		e.batchTimer.Cancel()
+		e.batchTimer = sim.Event{}
 		e.freeRing()
 	}
 }
@@ -353,7 +425,13 @@ func (e *Endpoint) Read() ([]byte, bool) {
 // peer→creator. Reliable channels queue when the ring is full; unreliable
 // channels drop and count it.
 func (e *Endpoint) Write(payload []byte) error {
-	return e.write(&message{data: append([]byte(nil), payload...)})
+	c := e.ch
+	if c == nil {
+		return ErrNoPeer
+	}
+	m := c.getMsg()
+	m.data = append(m.data, payload...)
+	return e.write(m)
 }
 
 // WriteV sends a scatter-gather message: the fragments occupy ONE ring
@@ -361,51 +439,55 @@ func (e *Endpoint) Write(payload []byte) error {
 // the receiver as the concatenated payload. The total size is bounded by
 // MaxMessage like any other message. A single fragment is an ordinary Write.
 func (e *Endpoint) WriteV(fragments ...[]byte) error {
-	msg := &message{}
-	if len(fragments) > 1 {
-		msg.sizes = make([]int, len(fragments))
+	c := e.ch
+	if c == nil {
+		return ErrNoPeer
 	}
-	for i, f := range fragments {
+	msg := c.getMsg()
+	for _, f := range fragments {
 		msg.data = append(msg.data, f...)
-		if msg.sizes != nil {
-			msg.sizes[i] = len(f)
+		if len(fragments) > 1 {
+			msg.sizes = append(msg.sizes, len(f))
 		}
 	}
 	return e.write(msg)
 }
 
+// write consumes msg: it is either forwarded toward transmit (possibly
+// deferred behind a descriptor credit) or returned to the pool on
+// rejection and drop paths.
 func (e *Endpoint) write(msg *message) error {
 	c := e.ch
-	if c == nil {
-		return ErrNoPeer
-	}
 	if c.closed || e.closed {
+		c.putMsg(msg)
 		return ErrClosed
 	}
 	if len(msg.data) > c.cfg.MaxMessage {
+		c.putMsg(msg)
 		return ErrTooLarge
 	}
 	dir := 0
 	if e == c.creator {
 		if len(c.peers) == 0 {
+			c.putMsg(msg)
 			return ErrNoPeer
 		}
 	} else {
 		dir = 1
 	}
-	send := func() { c.dispatchSend(e, dir, msg) }
 
 	if c.credits[dir] <= 0 {
 		if !c.cfg.Reliable {
 			c.stats.Dropped++
+			c.putMsg(msg)
 			return nil
 		}
 		c.stats.Queued++
-		c.pending[dir] = append(c.pending[dir], send)
+		c.pending[dir] = append(c.pending[dir], func() { c.dispatchSend(e, dir, msg) })
 		return nil
 	}
 	c.credits[dir]--
-	send()
+	c.dispatchSend(e, dir, msg)
 	return nil
 }
 
@@ -417,13 +499,16 @@ func (c *Channel) dispatchSend(src *Endpoint, dir int, msg *message) {
 		c.enqueueBatch(src, dir, msg)
 		return
 	}
-	c.transmit(src, dir, []*message{msg})
+	c.transmit(src, dir, append(c.getBatch(), msg))
 }
 
 // enqueueBatch accumulates a credited message and flushes when the batch
 // fills; the first message of a fresh batch arms the coalescing timer so a
 // partial batch waits at most Coalesce before going out anyway.
 func (c *Channel) enqueueBatch(src *Endpoint, dir int, msg *message) {
+	if src.batchMsgs == nil {
+		src.batchMsgs = c.getBatch()
+	}
 	src.batchMsgs = append(src.batchMsgs, msg)
 	if len(src.batchMsgs) >= c.cfg.Batch {
 		c.flushBatch(src, dir, false)
@@ -431,7 +516,7 @@ func (c *Channel) enqueueBatch(src *Endpoint, dir int, msg *message) {
 	}
 	if len(src.batchMsgs) == 1 {
 		src.batchTimer = c.eng.Schedule(c.cfg.Coalesce, func() {
-			src.batchTimer = nil
+			src.batchTimer = sim.Event{}
 			c.flushBatch(src, dir, true)
 		})
 	}
@@ -439,10 +524,8 @@ func (c *Channel) enqueueBatch(src *Endpoint, dir int, msg *message) {
 
 // flushBatch sends everything accumulated at src as one transfer.
 func (c *Channel) flushBatch(src *Endpoint, dir int, coalesced bool) {
-	if src.batchTimer != nil {
-		src.batchTimer.Cancel()
-		src.batchTimer = nil
-	}
+	src.batchTimer.Cancel()
+	src.batchTimer = sim.Event{}
 	msgs := src.batchMsgs
 	src.batchMsgs = nil
 	if len(msgs) == 0 || c.closed {
@@ -472,15 +555,17 @@ func (c *Channel) transmit(src *Endpoint, dir int, msgs []*message) {
 		return
 	}
 	total := 0
-	var sizes []int
+	sizes := c.getSizes()
 	for _, m := range msgs {
 		total += len(m.data)
-		sizes = append(sizes, m.fragSizes()...)
-		if m.sizes != nil {
+		if len(m.sizes) > 0 {
+			sizes = append(sizes, m.sizes...)
 			// Scatter-gather accounting happens here, when the fragments
 			// actually ride a DMA — dropped or never-flushed sends count none.
 			c.stats.SGWrites++
 			c.stats.SGFragments += uint64(len(m.sizes))
+		} else {
+			sizes = append(sizes, len(m.data))
 		}
 	}
 	c.stats.Sent += uint64(n)
@@ -492,12 +577,15 @@ func (c *Channel) transmit(src *Endpoint, dir int, msgs []*message) {
 			dst := dst
 			// Multicast destinations each get private payload copies: a
 			// handler that mutates its message must never corrupt what a
-			// sibling receiver observes.
+			// sibling receiver observes. (Fragment sizes are not copied:
+			// only the wire reads them, from the gather list built above.)
 			batch := msgs
 			if len(dests) > 1 {
-				batch = make([]*message, n)
-				for i, m := range msgs {
-					batch[i] = &message{data: append([]byte(nil), m.data...), sizes: m.sizes}
+				batch = c.getBatch()
+				for _, m := range msgs {
+					cm := c.getMsg()
+					cm.data = append(cm.data, m.data...)
+					batch = append(batch, cm)
 				}
 			}
 			c.wire(src, dst, sizes, total, func() {
@@ -510,6 +598,13 @@ func (c *Channel) transmit(src *Endpoint, dir int, msgs []*message) {
 					}
 				})
 			})
+		}
+		// The gather list is consumed synchronously by wire's DMA issue;
+		// multicast originals die here too, every receiver holding its
+		// own private copy by now.
+		c.putSizes(sizes)
+		if len(dests) > 1 {
+			c.putBatch(msgs, false)
 		}
 	}
 
@@ -572,6 +667,7 @@ func (c *Channel) wire(src, dst *Endpoint, sizes []int, total int, done func()) 
 func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 	n := len(msgs)
 	discarded := false
+	handed := false
 	finish := func() {
 		if discarded {
 			// The destination closed while the group was on the wire: the
@@ -581,6 +677,9 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 		} else {
 			c.stats.Delivered += uint64(n)
 		}
+		// Handlers have returned (or the inbox owns the payloads): the
+		// batch and its envelopes go back to the pool.
+		c.putBatch(msgs, handed)
 		done()
 	}
 	run := func(complete func()) {
@@ -590,6 +689,7 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 			return
 		}
 		if dst.handler == nil {
+			handed = true
 			for _, m := range msgs {
 				dst.inbox = append(dst.inbox, m.data)
 			}

@@ -245,17 +245,21 @@ func (b *Bridge) relay(dir int, payload []byte) {
 	txCycles := uint64(m.PerPacketTX + m.PerByteTX*float64(len(data)))
 	src.fwd.exec(txCycles, func() {
 		l := b.coord.link(src.back.name(), dst.back.name())
-		eng := b.coord.sys.Eng
+		srcEng, dstEng := b.coord.engineOf(src.back), b.coord.engineOf(dst.back)
 		wire := sim.Time(float64(len(data)) / l.BytesPerSec * float64(sim.Second))
 		// Serialize on the directed physical link, shared with every other
-		// bridge riding this host pair.
+		// bridge riding this host pair. The watermark map is guarded:
+		// under windowed parallel execution relays run on per-host engine
+		// goroutines.
 		linkKey := src.back.name() + "→" + dst.back.name()
-		start := eng.Now()
+		start := srcEng.Now()
+		b.coord.linkMu.Lock()
 		if busy := b.coord.linkBusy[linkKey]; busy > start {
 			start = busy
 		}
 		b.coord.linkBusy[linkKey] = start + wire
-		eng.At(start+wire+l.Latency, func() {
+		b.coord.linkMu.Unlock()
+		b.coord.across(srcEng, dstEng, start+wire+l.Latency, func() {
 			// Re-read the far leg: a failover may have rebuilt it while the
 			// payload was in flight, and the new leg is the right target.
 			far := b.legs[1-dir]

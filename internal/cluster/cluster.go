@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"hydra/internal/channel"
 	"hydra/internal/core"
@@ -162,7 +163,14 @@ type Coordinator struct {
 	// linkBusy holds per-directed-link serialization watermarks ("a→b"),
 	// shared by every bridge riding that host pair: N bridges on one link
 	// contend for its bandwidth instead of each getting the full rate.
+	// linkMu guards it: under windowed parallel execution relays run on
+	// per-host engine goroutines concurrently. (Distinct directed links
+	// never race on a value, only on the map itself.)
+	linkMu   sync.Mutex
 	linkBusy map[string]sim.Time
+	// group coordinates per-host engines (EnginePerHost testbeds) for
+	// conservative-window execution; nil on shared-engine systems.
+	group *sim.Group
 
 	migrations []*Migration
 	fwdSeq     int
@@ -199,6 +207,64 @@ func New(sys *testbed.System, cfg Config) (*Coordinator, error) {
 
 // System returns the underlying testbed.
 func (c *Coordinator) System() *testbed.System { return c.sys }
+
+// EngineGroup returns (building on first use) the sim.Group over the
+// system's engines — the control engine plus every distinct per-host
+// engine — with lookahead set to the minimum link latency between any
+// backend pair. On a shared-engine testbed the group holds one engine,
+// so Settle degenerates to RunAll and windowed Run to a plain bounded
+// run. Errors if any configured link latency is non-positive: a
+// zero-latency link admits no conservative window.
+func (c *Coordinator) EngineGroup() (*sim.Group, error) {
+	if c.group != nil {
+		return c.group, nil
+	}
+	look := c.cfg.DefaultLink.Latency
+	for _, ls := range c.cfg.Links {
+		l := ls.Link.Latency
+		if l <= 0 {
+			return nil, fmt.Errorf("cluster: link %s-%s latency %v: conservative windows need positive lookahead", ls.A, ls.B, l)
+		}
+		if l < look {
+			look = l
+		}
+	}
+	if look <= 0 {
+		return nil, fmt.Errorf("cluster: default link latency %v: conservative windows need positive lookahead", look)
+	}
+	engines := []*sim.Engine{c.sys.Eng}
+	seen := map[*sim.Engine]bool{c.sys.Eng: true}
+	for _, b := range c.backs {
+		if e := b.hs.Eng; !seen[e] {
+			seen[e] = true
+			engines = append(engines, e)
+		}
+	}
+	g, err := sim.NewGroup(engines, look)
+	if err != nil {
+		return nil, err
+	}
+	c.group = g
+	return g, nil
+}
+
+// engineOf resolves the engine a backend's components schedule on.
+func (c *Coordinator) engineOf(b *backend) *sim.Engine { return b.hs.Eng }
+
+// across schedules fn at absolute time at on the destination engine.
+// Same-engine hops (shared-clock systems, co-located edges) go straight
+// to the queue; cross-engine hops route through the group so windowed
+// parallel runs buffer them for deterministic barrier injection. A
+// cross-engine hop before EngineGroup was built falls back to direct
+// scheduling, which is only sound under single-threaded global-order
+// execution (Group.Settle).
+func (c *Coordinator) across(src, dst *sim.Engine, at sim.Time, fn func()) {
+	if src != dst && c.group != nil {
+		c.group.Send(src, dst, at, fn)
+		return
+	}
+	dst.At(at, fn)
+}
 
 // Hosts lists backend host names in declaration order (dead ones included).
 func (c *Coordinator) Hosts() []string {

@@ -51,6 +51,11 @@ func (m *Migration) Time() sim.Time { return m.Finished - m.Started }
 // placements pinned, redeploy the displaced shards with their checkpoints
 // staged, and rebuild every bridge that touched the dead host. k receives
 // the Migration record when the sequence settles on the virtual clock.
+//
+// FailHost drives the migration on the shared system engine and is a
+// serial-mode operation: with Spec.EnginePerHost it must run between
+// windows (via sim.Group.Settle), never while host goroutines are inside
+// Group.Run.
 func (c *Coordinator) FailHost(name string, k func(*Migration, error)) {
 	eng := c.sys.Eng
 	rec := &Migration{Host: name, Started: eng.Now()}

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"hydra/internal/channel"
 	"hydra/internal/cluster"
@@ -213,12 +215,26 @@ func RunClusterWorkers(seed int64, duration sim.Time, workers int) (*ClusterResu
 	return out, nil
 }
 
-// RunClusterCell runs one X9 cell: hosts machines (one XScale NIC each),
-// shards closed-loop worker streams sharded by the cluster solver, and —
-// when kill is set — a whole-host failure at half time with cross-host
-// migration.
-func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link cluster.Link, kill bool) (*ClusterRow, error) {
-	spec := testbed.Spec{Name: "x9-cluster"}
+// x9Cell is one X9 topology: the fabric, the coordinator, the frontend
+// and the live worker instances. The serial and windowed-parallel cells
+// share everything except the engine layout (one shared clock vs one
+// engine per host) and the loop that drives simulated time.
+type x9Cell struct {
+	sys     *testbed.System
+	coord   *cluster.Coordinator
+	front   *x9Frontend
+	workers map[string]*x9Worker // bind → live (latest) instance
+	shards  int
+}
+
+func x9ShardBind(i int) string { return fmt.Sprintf("x9.Shard%02d", i) }
+
+// buildX9Cell constructs the cell fabric — hosts machines with one
+// XScale NIC each, every depot stocked identically so any shard may
+// land anywhere — without yet committing a plan. perHost selects
+// Spec.EnginePerHost (conservative-window execution).
+func buildX9Cell(seed int64, hosts, shards int, link cluster.Link, perHost bool) (*x9Cell, error) {
+	spec := testbed.Spec{Name: "x9-cluster", EnginePerHost: perHost}
 	for i := 0; i < hosts; i++ {
 		name := fmt.Sprintf("h%d", i)
 		spec.Hosts = append(spec.Hosts, testbed.HostSpec{
@@ -231,31 +247,31 @@ func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link clust
 	if err != nil {
 		return nil, err
 	}
-	eng := sys.Eng
 	coord, err := cluster.New(sys, cluster.Config{AppName: "x9", DefaultLink: link})
 	if err != nil {
 		return nil, err
 	}
 
-	// Stock every host's depot identically: any shard may land anywhere.
-	front := &x9Frontend{
-		outstanding: make(map[*channel.Endpoint]bool),
-		req:         make([]byte, X9MsgBytes),
+	cell := &x9Cell{
+		sys:   sys,
+		coord: coord,
+		front: &x9Frontend{
+			outstanding: make(map[*channel.Endpoint]bool),
+			req:         make([]byte, X9MsgBytes),
+		},
+		workers: make(map[string]*x9Worker),
+		shards:  shards,
 	}
-	workers := make(map[string]*x9Worker) // bind → live (latest) instance
-	const frontBind = "x9.Front"
-	frontPath := "/x9/front.odf"
-	shardBind := func(i int) string { return fmt.Sprintf("x9.Shard%02d", i) }
 	for _, hs := range sys.RuntimeHosts() {
-		hs.Depot.PutFile(frontPath, []byte(fmt.Sprintf(`<offcode>
+		hs.Depot.PutFile(x9FrontPath, []byte(fmt.Sprintf(`<offcode>
   <package><bindname>%s</bindname><GUID>9900</GUID></package>
   <targets><host-fallback>true</host-fallback></targets>
-</offcode>`, frontBind)))
-		if err := hs.Depot.RegisterFactory(9900, func() any { return front }); err != nil {
+</offcode>`, x9FrontBind)))
+		if err := hs.Depot.RegisterFactory(9900, func() any { return cell.front }); err != nil {
 			return nil, err
 		}
 		for i := 0; i < shards; i++ {
-			bind := shardBind(i)
+			bind := x9ShardBind(i)
 			g := guid.GUID(9901 + i)
 			hs.Depot.PutFile("/x9/"+bind+".odf", []byte(fmt.Sprintf(`<offcode>
   <package><bindname>%s</bindname><GUID>%d</GUID></package>
@@ -267,42 +283,90 @@ func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link clust
 			}
 			if err := hs.Depot.RegisterFactory(g, func() any {
 				w := &x9Worker{}
-				workers[bind] = w
+				cell.workers[bind] = w
 				return w
 			}); err != nil {
 				return nil, err
 			}
 		}
 	}
+	return cell, nil
+}
 
-	// The cluster plan: frontend pinned to h0 (weightless), every shard a
-	// unit-load root, one closed-loop edge per shard. The per-edge traffic
-	// estimate (≈1000 req/s of 1 kB messages) is what the solver charges
-	// against each candidate link.
-	plan := coord.Plan()
-	if err := plan.AddRoot(frontPath, cluster.PinTo("h0"), cluster.WithLoad(0)); err != nil {
-		return nil, err
+const (
+	x9FrontBind = "x9.Front"
+	x9FrontPath = "/x9/front.odf"
+)
+
+// commit submits the cluster plan — frontend pinned to h0 (weightless),
+// every shard a unit-load root, one closed-loop edge per shard; the
+// per-edge traffic estimate (≈1000 req/s of 1 kB messages) is what the
+// solver charges against each candidate link — then calls drive to
+// advance simulated time until the deployment settles (Engine.RunAll on
+// a shared clock, Group.Settle under per-host engines).
+func (cell *x9Cell) commit(drive func()) error {
+	plan := cell.coord.Plan()
+	if err := plan.AddRoot(x9FrontPath, cluster.PinTo("h0"), cluster.WithLoad(0)); err != nil {
+		return err
 	}
-	for i := 0; i < shards; i++ {
-		if err := plan.AddRoot("/x9/" + shardBind(i) + ".odf"); err != nil {
-			return nil, err
+	for i := 0; i < cell.shards; i++ {
+		if err := plan.AddRoot("/x9/" + x9ShardBind(i) + ".odf"); err != nil {
+			return err
 		}
 	}
-	for i := 0; i < shards; i++ {
-		if err := plan.Connect(frontBind, shardBind(i),
+	for i := 0; i < cell.shards; i++ {
+		if err := plan.Connect(x9FrontBind, x9ShardBind(i),
 			cluster.Traffic{BytesPerSec: 1000 * X9MsgBytes, MsgsPerSec: 1000}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	var commitErr error
 	committed := false
 	plan.Commit(func(_ *cluster.Deployment, err error) { commitErr, committed = err, true })
-	eng.RunAll()
+	drive()
 	if !committed {
-		return nil, fmt.Errorf("x9: commit never settled")
+		return fmt.Errorf("x9: commit never settled")
 	}
-	if commitErr != nil {
-		return nil, commitErr
+	return commitErr
+}
+
+// collect fills the throughput and bridge columns of row from the cell's
+// final state.
+func (cell *x9Cell) collect(row *ClusterRow, duration sim.Time) {
+	for i := 0; i < cell.shards; i++ {
+		got := cell.workers[x9ShardBind(i)].recv
+		row.Total += got
+		if i == 0 || got < row.MinShard {
+			row.MinShard = got
+		}
+		if got > row.MaxShard {
+			row.MaxShard = got
+		}
+	}
+	row.MsgsPerSec = float64(row.Total) / duration.Float64Seconds()
+	for _, br := range cell.coord.Bridges() {
+		if br.Cross() {
+			row.CrossBridges++
+		}
+		aToB, bToA := br.Relayed()
+		row.Bridged += aToB + bToA
+		row.Dropped += br.Dropped()
+	}
+}
+
+// RunClusterCell runs one X9 cell: hosts machines (one XScale NIC each),
+// shards closed-loop worker streams sharded by the cluster solver, and —
+// when kill is set — a whole-host failure at half time with cross-host
+// migration.
+func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link cluster.Link, kill bool) (*ClusterRow, error) {
+	cell, err := buildX9Cell(seed, hosts, shards, link, false)
+	if err != nil {
+		return nil, err
+	}
+	eng := cell.sys.Eng
+	front, workers := cell.front, cell.workers
+	if err := cell.commit(func() { eng.RunAll() }); err != nil {
+		return nil, err
 	}
 
 	row := &ClusterRow{
@@ -320,7 +384,7 @@ func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link clust
 	if kill {
 		victim := fmt.Sprintf("h%d", hosts-1)
 		eng.At(start+duration/2, func() {
-			coord.FailHost(victim, func(m *cluster.Migration, err error) {
+			cell.coord.FailHost(victim, func(m *cluster.Migration, err error) {
 				if err != nil {
 					migErr = err
 					return
@@ -340,25 +404,7 @@ func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link clust
 		return nil, fmt.Errorf("x9: migration: %w", migErr)
 	}
 
-	for i := 0; i < shards; i++ {
-		got := workers[shardBind(i)].recv
-		row.Total += got
-		if i == 0 || got < row.MinShard {
-			row.MinShard = got
-		}
-		if got > row.MaxShard {
-			row.MaxShard = got
-		}
-	}
-	row.MsgsPerSec = float64(row.Total) / duration.Float64Seconds()
-	for _, br := range coord.Bridges() {
-		if br.Cross() {
-			row.CrossBridges++
-		}
-		aToB, bToA := br.Relayed()
-		row.Bridged += aToB + bToA
-		row.Dropped += br.Dropped()
-	}
+	cell.collect(row, duration)
 	var post uint64
 	for _, bind := range movedBinds {
 		post += workers[bind].recv
@@ -367,6 +413,84 @@ func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link clust
 		row.PostKillMsgs = post - atMigration
 	}
 	return row, nil
+}
+
+// RunClusterCellParallel runs the no-kill X9 cell on per-host engines
+// under conservative windows: the deployment commits through
+// Group.Settle (control plane, global event order), then the steady
+// state runs to the horizon with Group.Run on the given worker count.
+// The row is bit-identical for any workers value — window bodies only
+// interact through bridge links whose latency bounds the lookahead —
+// which RunClusterParallel and the race tests assert.
+func RunClusterCellParallel(seed int64, duration sim.Time, hosts, shards, workers int, link cluster.Link) (*ClusterRow, error) {
+	cell, err := buildX9Cell(seed, hosts, shards, link, true)
+	if err != nil {
+		return nil, err
+	}
+	group, err := cell.coord.EngineGroup()
+	if err != nil {
+		return nil, err
+	}
+	if err := cell.commit(group.Settle); err != nil {
+		return nil, err
+	}
+
+	// Engines settle at different clocks; the measured window starts at
+	// the latest of them so every host participates for full duration.
+	var start sim.Time
+	for _, e := range group.Engines() {
+		if n := e.Now(); n > start {
+			start = n
+		}
+	}
+	cell.front.Kick()
+	group.Run(start+duration, workers)
+
+	row := &ClusterRow{
+		Hosts: hosts, Shards: shards,
+		LinkLatencyMS: float64(link.Latency) / float64(sim.Millisecond),
+	}
+	cell.collect(row, duration)
+	return row, nil
+}
+
+// ClusterParallelResult is RunClusterParallel's outcome: the verified
+// cell row plus the serial and parallel wall clocks.
+type ClusterParallelResult struct {
+	Row                  ClusterRow
+	Workers              int
+	SerialMS, ParallelMS float64
+}
+
+// RunClusterParallel runs the 4-host windowed X9 cell twice — window
+// bodies on one worker, then on workers goroutines — and fails unless
+// the rows match bit for bit. Note the windowed cell is a different
+// simulation from the shared-clock X9 grid (per-host engines have
+// per-host seeds and clocks), so its absolute numbers are compared only
+// against itself.
+func RunClusterParallel(seed int64, duration sim.Time, workers int) (*ClusterParallelResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t0 := time.Now()
+	serial, err := RunClusterCellParallel(seed, duration, 4, X9Shards, 1, x9Link())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cluster parallel (serial windows): %w", err)
+	}
+	serialMS := float64(time.Since(t0).Microseconds()) / 1000
+	t0 = time.Now()
+	parallel, err := RunClusterCellParallel(seed, duration, 4, X9Shards, workers, x9Link())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cluster parallel (%d workers): %w", workers, err)
+	}
+	parallelMS := float64(time.Since(t0).Microseconds()) / 1000
+	if *serial != *parallel {
+		return nil, fmt.Errorf("experiments: cluster parallel determinism violated: 1 worker %+v != %d workers %+v",
+			serial, workers, parallel)
+	}
+	res := &ClusterParallelResult{Row: *parallel, Workers: workers, SerialMS: serialMS, ParallelMS: parallelMS}
+	res.Row.Scenario = "4 hosts, windowed"
+	return res, nil
 }
 
 // CheckClusterShape asserts the qualitative X9 outcome, including the

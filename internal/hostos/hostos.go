@@ -61,9 +61,13 @@ type Machine struct {
 	rng *rand.Rand
 	l2  *cache.Cache
 
-	runq     []*segment // ready work, FIFO within priority
+	runq     segQueue // ready work, FIFO within priority
 	running  bool
 	lastTask *Task
+	cur      *segment   // segment the CPU is executing (nil when idle)
+	doneFn   func()     // pre-bound completion continuation, to avoid a closure per dispatch
+	segFree  []*segment // recycled segments; hot paths run alloc-free once warm
+	irqTask  *Task      // shared identity for all ISR segments (see Interrupt)
 
 	busy        sim.Time // accumulated CPU busy time
 	kernelBusy  sim.Time // subset spent in kernel context
@@ -89,7 +93,39 @@ func New(eng *sim.Engine, name string, cfg Config) *Machine {
 		l2:       cache.New(cfg.Cache),
 		nextAddr: 1 << 20, // leave page zero unused
 	}
+	m.irqTask = &Task{m: m, name: "irq"}
+	m.doneFn = func() {
+		s := m.cur
+		m.cur = nil
+		m.running = false
+		k := s.k
+		m.freeSeg(s)
+		if k != nil {
+			k()
+		}
+		m.dispatch()
+	}
 	return m
+}
+
+// allocSeg takes a segment off the machine's free list (or mints one).
+func (m *Machine) allocSeg() *segment {
+	if n := len(m.segFree); n > 0 {
+		s := m.segFree[n-1]
+		m.segFree[n-1] = nil
+		m.segFree = m.segFree[:n-1]
+		return s
+	}
+	return &segment{}
+}
+
+// freeSeg recycles a completed segment, dropping its continuation so a
+// finished callback's captured state is released immediately.
+func (m *Machine) freeSeg(s *segment) {
+	*s = segment{}
+	if len(m.segFree) < 256 {
+		m.segFree = append(m.segFree, s)
+	}
 }
 
 // Engine returns the simulation engine the machine runs on.
@@ -203,7 +239,9 @@ func (t *Task) String() string { return fmt.Sprintf("task(%s@%s)", t.name, t.m.N
 
 // Run enqueues cycles of work in the given context, then calls k.
 func (t *Task) Run(cycles uint64, ctx cache.Context, k func()) {
-	t.m.enqueue(&segment{task: t, cycles: cycles, ctx: ctx, k: k})
+	s := t.m.allocSeg()
+	s.task, s.cycles, s.ctx, s.k = t, cycles, ctx, k
+	t.m.enqueue(s)
 }
 
 // Syscall is kernel-context work: Run with cache.Kernel attribution.
@@ -264,32 +302,43 @@ func (m *Machine) schedNoise() sim.Time {
 // run queue. k (optional) runs when the ISR completes.
 func (m *Machine) Interrupt(name string, cycles uint64, k func()) {
 	m.interrupts++
-	t := &Task{m: m, name: "irq:" + name}
-	seg := &segment{task: t, cycles: cycles, ctx: cache.Kernel, k: k, isIRQ: true}
-	m.enqueueFront(seg)
+	_ = name // identifies the source for the caller; ISRs share one identity
+	s := m.allocSeg()
+	s.task, s.cycles, s.ctx, s.k, s.isIRQ = m.irqTask, cycles, cache.Kernel, k, true
+	m.enqueueFront(s)
 }
 
 func (m *Machine) enqueue(s *segment) {
-	m.runq = append(m.runq, s)
+	m.runq.pushBack(s)
 	m.dispatch()
 }
 
 func (m *Machine) enqueueFront(s *segment) {
-	m.runq = append([]*segment{s}, m.runq...)
+	m.runq.pushFront(s)
 	m.dispatch()
 }
 
 // dispatch starts the CPU on the next segment if it is idle.
 func (m *Machine) dispatch() {
-	if m.running || len(m.runq) == 0 {
+	if m.running {
 		return
 	}
-	s := m.runq[0]
-	m.runq = m.runq[1:]
+	s := m.runq.popFront()
+	if s == nil {
+		return
+	}
 	m.running = true
+	m.cur = s
 
 	cycles := s.cycles
-	if s.task != m.lastTask {
+	// Every ISR enters on a fresh kernel context — historically each
+	// interrupt carried a unique Task identity — so it always pays the
+	// context switch, and whatever runs after it always pays one too.
+	if s.isIRQ {
+		cycles += m.cfg.ContextSwitchCycles
+		m.switches++
+		m.lastTask = nil
+	} else if s.task != m.lastTask {
 		cycles += m.cfg.ContextSwitchCycles
 		m.switches++
 		m.lastTask = s.task
@@ -299,13 +348,56 @@ func (m *Machine) dispatch() {
 	if s.ctx == cache.Kernel {
 		m.kernelBusy += dur
 	}
-	m.eng.Schedule(dur, func() {
-		m.running = false
-		if s.k != nil {
-			s.k()
-		}
-		m.dispatch()
-	})
+	m.eng.Schedule(dur, m.doneFn)
+}
+
+// segQueue is a growable ring deque of segments: O(1) pushBack,
+// pushFront and popFront with no per-operation allocation, unlike the
+// old `append([]*segment{s}, runq...)` interrupt path which copied the
+// whole queue per ISR.
+type segQueue struct {
+	buf        []*segment // power-of-two length
+	head, tail int        // monotonically increasing; index = i & (len(buf)-1)
+}
+
+func (q *segQueue) len() int { return q.tail - q.head }
+
+func (q *segQueue) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]*segment, n)
+	for i := q.head; i < q.tail; i++ {
+		nb[i&(n-1)] = q.buf[i&(len(q.buf)-1)]
+	}
+	q.buf = nb
+}
+
+func (q *segQueue) pushBack(s *segment) {
+	if q.len() == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail&(len(q.buf)-1)] = s
+	q.tail++
+}
+
+func (q *segQueue) pushFront(s *segment) {
+	if q.len() == len(q.buf) {
+		q.grow()
+	}
+	q.head--
+	q.buf[q.head&(len(q.buf)-1)] = s
+}
+
+func (q *segQueue) popFront() *segment {
+	if q.len() == 0 {
+		return nil
+	}
+	s := q.buf[q.head&(len(q.buf)-1)]
+	q.buf[q.head&(len(q.buf)-1)] = nil
+	q.head++
+	return s
 }
 
 // Utilization reports busy/elapsed over the whole run.

@@ -4,10 +4,15 @@
 // buses, caches, devices, networks) advances on the virtual clock owned by an
 // Engine. Events scheduled at the same instant fire in the order they were
 // scheduled, which makes runs bit-for-bit reproducible for a fixed seed.
+//
+// The pending set is a ladder queue (ladder.go) and event storage is
+// pooled: Schedule/At hand out value handles into engine-owned slots
+// that are recycled after the event fires or is canceled, so the
+// steady-state hot path does not allocate. Generation counters make
+// stale handles inert — holding an Event past its fire time is safe.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -45,73 +50,61 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. The zero Event is inert.
+// Event is a handle to a scheduled callback. It is a small value, not a
+// pointer: copies are cheap and compare equal. The zero Event is inert.
+//
+// The storage behind a handle is pooled. Once the event fires or is
+// canceled, the engine may recycle its slot for a future Schedule; a
+// generation counter in the handle detects this, so Cancel, Canceled
+// and Active on a stale handle are safe no-ops rather than corruption.
+// The one caveat of recycling: after the slot is reused, Canceled
+// reports false even if Cancel was the reason the event concluded —
+// query it near the cancellation, not eras later.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
-	owner    *Engine
+	s   *slot
+	gen uint64
+	at  Time
 }
 
-// At reports the virtual time the event will fire.
-func (e *Event) At() Time { return e.at }
+// At reports the virtual time the event fires (or fired).
+func (e Event) At() Time { return e.at }
+
+// live reports whether the handle still refers to its original
+// scheduling (the slot has not been recycled).
+func (e Event) live() bool { return e.s != nil && e.s.gen == e.gen }
+
+// Active reports whether the event is still pending: not yet fired,
+// not canceled.
+func (e Event) Active() bool { return e.live() && e.s.state == statePending }
 
 // Cancel prevents the event from firing and removes it from the pending
 // set immediately, so heavily canceled workloads (timeouts, retries) do
 // not accumulate dead events until their fire time. Canceling an
-// already-fired or already-canceled event is a no-op.
-func (e *Event) Cancel() {
-	if e.canceled {
+// already-fired or already-canceled event — or the zero Event — is a
+// no-op.
+func (e Event) Cancel() {
+	if !e.live() || e.s.state != statePending {
 		return
 	}
-	e.canceled = true
-	if e.owner != nil && e.index >= 0 {
-		heap.Remove(&e.owner.queue, e.index)
-	}
-	e.fn = nil // release the closure eagerly
+	s := e.s
+	own := s.own
+	own.q.remove(s)
+	s.state = stateCanceled
+	own.release(s)
 }
 
-// Canceled reports whether Cancel was called.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+// Canceled reports whether Cancel took effect on this scheduling.
+func (e Event) Canceled() bool { return e.live() && e.s.state == stateCanceled }
 
 // Engine owns the virtual clock and the pending event set.
 // It is not safe for concurrent use; models run single-threaded by design so
-// that execution order is deterministic.
+// that execution order is deterministic. (A Group coordinates several
+// engines, each still single-threaded within its goroutine.)
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	q       ladder
+	free    []*slot
 	rng     *rand.Rand
 	seed    int64
 	stopped bool
@@ -142,9 +135,36 @@ func (e *Engine) NewRand(salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(e.seed ^ (salt * mix)))
 }
 
+// alloc takes a slot off the free list (or mints one), bumping its
+// generation so handles to the previous occupant go stale.
+func (e *Engine) alloc() *slot {
+	n := len(e.free)
+	if n == 0 {
+		s := &slot{own: e}
+		s.gen = 1
+		return s
+	}
+	s := e.free[n-1]
+	e.free[n-1] = nil
+	e.free = e.free[:n-1]
+	s.gen++
+	return s
+}
+
+// release returns a concluded slot to the free list. The closure is
+// dropped immediately — a fired event must not pin its captured state
+// until GC — but gen and state survive until the slot is reused, so the
+// holder's Canceled/Active queries stay meaningful in the interim.
+func (e *Engine) release(s *slot) {
+	s.fn = nil
+	s.where = whereNone
+	s.r = nil
+	e.free = append(e.free, s)
+}
+
 // Schedule arranges for fn to run after delay. A negative delay is treated
 // as zero. It returns the event so callers may cancel it.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -153,7 +173,7 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 
 // At arranges for fn to run at absolute virtual time t. Times in the past
 // are clamped to now.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
@@ -161,9 +181,10 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, owner: e}
-	heap.Push(&e.queue, ev)
-	return ev
+	s := e.alloc()
+	s.at, s.seq, s.fn, s.state = t, e.seq, fn, statePending
+	e.q.push(s)
+	return Event{s: s, gen: s.gen, at: t}
 }
 
 // Stop makes Run return after the current event completes.
@@ -172,17 +193,20 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event, advancing the clock.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.Fired++
-		ev.fn()
-		return true
+	s := e.q.pop()
+	if s == nil {
+		return false
 	}
-	return false
+	e.now = s.at
+	e.Fired++
+	fn := s.fn
+	s.state = stateFired
+	// Recycle before firing so the callback can schedule into the slot
+	// it just vacated — the common chain pattern then ping-pongs between
+	// two slots with zero allocation.
+	e.release(s)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains, Stop is called, or the clock
@@ -192,10 +216,10 @@ func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	for !e.stopped {
 		// Peek: do not fire events beyond the horizon.
-		if e.queue.Len() == 0 {
+		next := e.q.peek()
+		if next == nil {
 			break
 		}
-		next := e.queue[0]
 		if next.at > until {
 			e.now = until
 			break
@@ -213,9 +237,26 @@ func (e *Engine) RunAll() Time {
 	return e.now
 }
 
+// runWindow executes events with at < limit (at <= limit when inclusive)
+// and then advances the clock to limit. It is the per-engine leg of a
+// Group window: the exclusive bound keeps events at exactly the horizon
+// ordered after any cross-engine traffic injected at the barrier.
+func (e *Engine) runWindow(limit Time, inclusive bool) {
+	for {
+		next := e.q.peek()
+		if next == nil || next.at > limit || (!inclusive && next.at == limit) {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
 // Pending reports the number of live events waiting. Canceled events are
 // removed from the pending set eagerly and never counted.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Ticker invokes fn every period until the returned stop function is called.
 // The first invocation happens one period from now plus phase.

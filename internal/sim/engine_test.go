@@ -51,7 +51,7 @@ func TestEngineCancel(t *testing.T) {
 
 func TestEngineCancelRemovesEagerly(t *testing.T) {
 	e := NewEngine(1)
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 100; i++ {
 		i := i
 		evs = append(evs, e.Schedule(Time(1000+i), func() { _ = i }))
@@ -85,7 +85,7 @@ func TestEngineCancelRemovesEagerly(t *testing.T) {
 
 func TestEngineCancelDuringRun(t *testing.T) {
 	e := NewEngine(1)
-	var later *Event
+	var later Event
 	canceledFired := false
 	e.Schedule(10, func() { later.Cancel() })
 	later = e.Schedule(20, func() { canceledFired = true })

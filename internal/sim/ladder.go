@@ -1,0 +1,404 @@
+package sim
+
+// This file implements the engine's pending-event set as a ladder queue
+// (a lazily refined calendar queue). The classic binary heap costs
+// O(log n) per operation with poor locality once the pending set grows
+// to the hundreds of thousands of events a cluster run keeps in flight.
+// The ladder queue keeps three tiers instead:
+//
+//	front    — a small (at, seq) min-heap holding only the nearest
+//	           future. All pops come from here.
+//	rungs    — a stack of bucket arrays ("rungs"), finest on top.
+//	           Each rung spans a window of virtual time split into
+//	           ladderBuckets equal buckets; events land in their
+//	           bucket with O(1) append, unordered.
+//	overflow — an (at, seq) min-heap for the far future, beyond every
+//	           rung. It is only touched when a whole era drains.
+//
+// When the front empties, prime() pulls the next non-empty bucket off
+// the top rung: small buckets spill straight into the front heap,
+// large ones are refined into a finer rung (width divided by
+// ladderBuckets) so no single sort ever sees more than a bucketful.
+// When the rungs drain, the overflow heap seeds a fresh rung sized to
+// its time span. Total work per event is O(1) amortized.
+//
+// Determinism invariant — the one property everything in this
+// repository leans on — is the (at, seq) total order. The ladder
+// preserves it with a single monotone watermark, boundary:
+//
+//	(1) every event stored in a rung or in overflow has at >= boundary;
+//	(2) every event in the front heap has at < boundary, OR the rungs
+//	    and overflow are empty (then front is just a plain heap);
+//	(3) boundary never decreases.
+//
+// Inserts below the watermark (events scheduled "now-ish" by a firing
+// event) go to the front heap, which orders them by (at, seq) exactly
+// as the old binary heap did, so the fire order is bit-for-bit
+// identical to the reference heap. TestLadderMatchesReferenceHeap
+// cross-checks this on randomized schedule/cancel/tick workloads.
+
+const (
+	// ladderBuckets is the number of buckets per rung and the refinement
+	// fan-out. 64 keeps rung arrays cache-resident and bounds the rung
+	// stack depth at log64(horizon) ≈ 11 for nanosecond clocks.
+	ladderBuckets = 64
+	// ladderSpill is the largest bucket (or overflow) that is moved to
+	// the front heap wholesale instead of being refined further.
+	ladderSpill = 16
+	// ladderPlainMax is the pending-set size below which the queue stays
+	// a single plain binary heap. Small queues (unit tests, idle hosts)
+	// never pay for rung bookkeeping; the ladder engages only once the
+	// front would grow past this.
+	ladderPlainMax = 64
+)
+
+// slot is the pooled storage behind a public Event handle. Engine owns
+// a free list of slots; gen increments every time a slot is reused so
+// stale Event handles become inert instead of corrupting the queue.
+type slot struct {
+	at  Time
+	seq uint64
+	fn  func()
+	own *Engine
+
+	gen   uint64
+	state uint8 // statePending, stateFired, stateCanceled
+	where uint8 // whereNone, whereFront, whereBucket, whereOverflow
+	pos   int32 // index in front/overflow heap or within its bucket
+	bi    int32 // bucket index when where == whereBucket
+	r     *rung // owning rung when where == whereBucket
+}
+
+const (
+	statePending uint8 = iota
+	stateFired
+	stateCanceled
+)
+
+const (
+	whereNone uint8 = iota
+	whereFront
+	whereBucket
+	whereOverflow
+)
+
+// before reports the (at, seq) total order used everywhere.
+func (s *slot) before(o *slot) bool {
+	if s.at != o.at {
+		return s.at < o.at
+	}
+	return s.seq < o.seq
+}
+
+// rung is one level of the ladder: a window [start, limit()) split into
+// ladderBuckets buckets of equal width.
+type rung struct {
+	buckets [ladderBuckets][]*slot
+	start   Time
+	width   Time
+	cur     int // buckets below cur are drained; scan position
+	count   int // live events across all buckets
+}
+
+func (r *rung) limit() Time { return r.start + Time(ladderBuckets)*r.width }
+
+// ladder is the three-tier pending set. The zero value is ready to use
+// and starts in plain mode: everything lives in the front heap, exactly
+// like the old container/heap implementation, until the pending set
+// outgrows ladderPlainMax and convert() engages the rungs.
+type ladder struct {
+	front    []*slot // (at, seq) min-heap; all pops come from here
+	rungs    []*rung // stack, finest (narrowest width) last
+	overflow []*slot // (at, seq) min-heap for the far future
+	omax     Time    // max at currently in overflow (valid when non-empty)
+	boundary Time    // rung/overflow events are >= boundary (invariant 1)
+	size     int     // live events across all tiers
+	freeRung []*rung // recycled rungs, to avoid re-allocating bucket arrays
+	ladderOn bool    // false: plain-heap mode (rungs/overflow unused)
+}
+
+func (q *ladder) len() int { return q.size }
+
+// push inserts a pending slot, routing it to the correct tier.
+func (q *ladder) push(s *slot) {
+	q.size++
+	if !q.ladderOn {
+		if len(q.front) < ladderPlainMax {
+			q.frontPush(s)
+			return
+		}
+		q.convert()
+	}
+	if s.at < q.boundary {
+		q.frontPush(s)
+		return
+	}
+	// Finest rung that covers at wins; scan top of stack downward.
+	for i := len(q.rungs) - 1; i >= 0; i-- {
+		r := q.rungs[i]
+		if s.at < r.limit() {
+			q.bucketPush(r, s)
+			return
+		}
+	}
+	q.overflowPush(s)
+}
+
+// convert switches from plain-heap to ladder mode by moving the whole
+// front heap into overflow wholesale. Both tiers are (at, seq)
+// min-heaps, so the backing array transfers as-is; only the watermark
+// and per-slot tier tags need fixing. After conversion the front is
+// empty and boundary equals the overflow minimum, so invariants (1)
+// and (2) hold vacuously.
+func (q *ladder) convert() {
+	q.overflow, q.front = q.front, q.overflow[:0]
+	q.omax = 0
+	for _, s := range q.overflow {
+		s.where = whereOverflow
+		if s.at > q.omax {
+			q.omax = s.at
+		}
+	}
+	q.boundary = q.overflow[0].at
+	q.ladderOn = true
+}
+
+// remove detaches a slot from whichever tier holds it (Cancel path).
+func (q *ladder) remove(s *slot) {
+	switch s.where {
+	case whereFront:
+		q.heapRemove(&q.front, int(s.pos))
+	case whereOverflow:
+		q.heapRemove(&q.overflow, int(s.pos))
+	case whereBucket:
+		b := s.r.buckets[s.bi]
+		last := len(b) - 1
+		moved := b[last]
+		b[int(s.pos)] = moved
+		moved.pos = s.pos
+		b[last] = nil
+		s.r.buckets[s.bi] = b[:last]
+		s.r.count--
+	default:
+		return
+	}
+	s.where = whereNone
+	s.r = nil
+	q.size--
+	q.maybeReset()
+}
+
+// maybeReset drops back to plain-heap mode once the queue drains, so
+// long-lived engines with bursty load re-enter the cheap path. Resetting
+// the watermark with zero live events cannot reorder anything.
+func (q *ladder) maybeReset() {
+	if q.size == 0 && q.ladderOn {
+		q.ladderOn = false
+		q.boundary = 0
+	}
+}
+
+// peek returns the globally earliest pending slot without removing it,
+// or nil when empty. It may restructure tiers (amortized O(1)).
+func (q *ladder) peek() *slot {
+	if len(q.front) == 0 {
+		q.prime()
+	}
+	if len(q.front) == 0 {
+		return nil
+	}
+	return q.front[0]
+}
+
+// pop removes and returns the earliest pending slot, or nil when empty.
+func (q *ladder) pop() *slot {
+	s := q.peek()
+	if s == nil {
+		return nil
+	}
+	q.heapRemove(&q.front, 0)
+	s.where = whereNone
+	q.size--
+	q.maybeReset()
+	return s
+}
+
+// prime refills the front heap from the rungs (or, once those drain,
+// from the overflow heap), advancing the boundary watermark.
+func (q *ladder) prime() {
+	for len(q.front) == 0 && q.size > 0 {
+		if n := len(q.rungs); n > 0 {
+			r := q.rungs[n-1]
+			if r.count == 0 {
+				q.rungs[n-1] = nil
+				q.rungs = q.rungs[:n-1]
+				q.recycleRung(r)
+				continue
+			}
+			for r.cur < ladderBuckets && len(r.buckets[r.cur]) == 0 {
+				r.cur++
+			}
+			b := r.buckets[r.cur]
+			bs := r.start + Time(r.cur)*r.width
+			if len(b) <= ladderSpill || r.width <= 1 {
+				// Small bucket (or cannot refine further): spill it
+				// into the front heap and advance the watermark past
+				// the bucket so later same-era inserts join the heap.
+				for _, s := range b {
+					q.frontPush(s)
+				}
+				q.clearBucket(r, r.cur)
+				r.cur++
+				q.boundary = bs + r.width
+			} else {
+				// Large bucket: refine into a finer rung instead of
+				// sorting it all at once.
+				nw := (r.width-1)/Time(ladderBuckets) + 1 // ceil
+				nr := q.newRung(bs, nw)
+				for _, s := range b {
+					q.bucketPush(nr, s)
+				}
+				q.clearBucket(r, r.cur)
+				r.cur++
+				q.rungs = append(q.rungs, nr)
+				q.boundary = bs
+			}
+		} else {
+			if len(q.overflow) <= ladderSpill {
+				for _, s := range q.overflow {
+					s.where = whereNone
+					q.frontPush(s)
+				}
+				q.overflow = q.overflow[:0]
+				q.boundary = q.omax + 1
+			} else {
+				// Seed a rung spanning the whole overflow era. Width
+				// is chosen so the latest event still lands in the
+				// last bucket: (omax-t0)/w < ladderBuckets.
+				t0 := q.overflow[0].at
+				w := (q.omax-t0)/Time(ladderBuckets) + 1
+				nr := q.newRung(t0, w)
+				for _, s := range q.overflow {
+					s.where = whereNone
+					q.bucketPush(nr, s)
+				}
+				q.overflow = q.overflow[:0]
+				q.rungs = append(q.rungs, nr)
+				q.boundary = t0
+			}
+		}
+	}
+}
+
+func (q *ladder) clearBucket(r *rung, i int) {
+	b := r.buckets[i]
+	r.count -= len(b)
+	for j := range b {
+		b[j] = nil
+	}
+	r.buckets[i] = b[:0]
+}
+
+func (q *ladder) newRung(start, width Time) *rung {
+	var r *rung
+	if n := len(q.freeRung); n > 0 {
+		r = q.freeRung[n-1]
+		q.freeRung[n-1] = nil
+		q.freeRung = q.freeRung[:n-1]
+	} else {
+		r = &rung{}
+	}
+	r.start, r.width, r.cur, r.count = start, width, 0, 0
+	return r
+}
+
+func (q *ladder) recycleRung(r *rung) {
+	if len(q.freeRung) < 16 {
+		q.freeRung = append(q.freeRung, r)
+	}
+}
+
+func (q *ladder) bucketPush(r *rung, s *slot) {
+	// at >= boundary >= r.start + cur*width for every live rung, so the
+	// computed bucket is never behind the scan position.
+	bi := int32((s.at - r.start) / r.width)
+	s.where, s.r, s.bi = whereBucket, r, bi
+	s.pos = int32(len(r.buckets[bi]))
+	r.buckets[bi] = append(r.buckets[bi], s)
+	r.count++
+}
+
+func (q *ladder) frontPush(s *slot) {
+	s.where = whereFront
+	s.pos = int32(len(q.front))
+	q.front = append(q.front, s)
+	q.siftUp(q.front, len(q.front)-1)
+}
+
+func (q *ladder) overflowPush(s *slot) {
+	if len(q.overflow) == 0 || s.at > q.omax {
+		q.omax = s.at
+	}
+	s.where = whereOverflow
+	s.pos = int32(len(q.overflow))
+	q.overflow = append(q.overflow, s)
+	q.siftUp(q.overflow, len(q.overflow)-1)
+}
+
+// heapRemove removes index i from an (at, seq) min-heap, keeping pos
+// fields in sync. Works for both the front and overflow heaps.
+func (q *ladder) heapRemove(h *[]*slot, i int) {
+	a := *h
+	last := len(a) - 1
+	if i != last {
+		a[i] = a[last]
+		a[i].pos = int32(i)
+	}
+	a[last] = nil
+	*h = a[:last]
+	if i != last {
+		if !q.siftDown(*h, i) {
+			q.siftUp(*h, i)
+		}
+	}
+}
+
+func (q *ladder) siftUp(a []*slot, i int) {
+	s := a[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.before(a[p]) {
+			break
+		}
+		a[i] = a[p]
+		a[i].pos = int32(i)
+		i = p
+	}
+	a[i] = s
+	s.pos = int32(i)
+}
+
+// siftDown returns true when the element moved.
+func (q *ladder) siftDown(a []*slot, i int) bool {
+	s := a[i]
+	n := len(a)
+	i0 := i
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && a[r].before(a[c]) {
+			c = r
+		}
+		if !a[c].before(s) {
+			break
+		}
+		a[i] = a[c]
+		a[i].pos = int32(i)
+		i = c
+	}
+	a[i] = s
+	s.pos = int32(i)
+	return i != i0
+}

@@ -35,7 +35,11 @@ type System struct {
 
 // HostSystem is one built host with everything attached to it.
 type HostSystem struct {
-	Spec    HostSpec
+	Spec HostSpec
+	// Eng is the engine this host's components run on: the shared
+	// System.Eng normally, the host's private engine under
+	// Spec.EnginePerHost.
+	Eng     *sim.Engine
 	Machine *hostos.Machine
 	Bus     *bus.Bus
 	// Devices holds the host's peripherals in declaration order.
@@ -122,6 +126,16 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 	for _, h := range spec.Hosts {
 		needsNet = needsNet || len(h.Stations) > 0
 	}
+	if spec.EnginePerHost {
+		// These components all schedule on one shared clock; a split-clock
+		// build would silently couple engines and break window parallelism.
+		if spec.Net != nil || needsNet {
+			return nil, fmt.Errorf("testbed: %s: EnginePerHost excludes Net/Stations/NAS", label(spec))
+		}
+		if len(spec.Faults) > 0 {
+			return nil, fmt.Errorf("testbed: %s: EnginePerHost excludes Faults", label(spec))
+		}
+	}
 	if spec.Net != nil {
 		sys.Net = netsim.New(eng, spec.Net.Config)
 	} else if needsNet {
@@ -170,9 +184,17 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 		if busCfg == (bus.Config{}) {
 			busCfg = bus.DefaultConfig()
 		}
-		hs := &HostSystem{Spec: h}
-		hs.Machine = hostos.New(eng, h.Name, cpu)
-		hs.Bus = bus.New(eng, busCfg)
+		heng := eng
+		if spec.EnginePerHost {
+			// Derive the host engine seed with the same golden-ratio mix
+			// NewRand uses, keyed by host position: deterministic for a
+			// fixed build seed, distinct per host.
+			const mix = int64(-0x61c8864680b583eb)
+			heng = sim.NewEngine(eng.Seed() ^ (int64(len(sys.hostList)+1) * mix))
+		}
+		hs := &HostSystem{Spec: h, Eng: heng}
+		hs.Machine = hostos.New(heng, h.Name, cpu)
+		hs.Bus = bus.New(heng, busCfg)
 		for _, dc := range h.Devices {
 			if dc.Name == "" {
 				return nil, fmt.Errorf("testbed: host %q has an unnamed device", h.Name)
@@ -180,7 +202,7 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 			if _, dup := sys.devices[dc.Name]; dup {
 				return nil, fmt.Errorf("testbed: duplicate device %q", dc.Name)
 			}
-			d := device.New(eng, hs.Machine, hs.Bus, dc)
+			d := device.New(heng, hs.Machine, hs.Bus, dc)
 			hs.Devices = append(hs.Devices, d)
 			sys.devices[dc.Name] = d
 		}
@@ -193,7 +215,7 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 		}
 		if h.Runtime != nil {
 			hs.Depot = depot.New()
-			hs.Runtime = core.New(eng, hs.Machine, hs.Bus, hs.Depot, *h.Runtime)
+			hs.Runtime = core.New(heng, hs.Machine, hs.Bus, hs.Depot, *h.Runtime)
 			for _, d := range hs.Devices {
 				hs.Runtime.RegisterDevice(d)
 			}
@@ -308,7 +330,7 @@ func (sys *System) OpenChannel(profile, host, dev string) (*channel.Channel, *ch
 		return nil, nil, nil, fmt.Errorf("testbed: host %q has no device %q", host, dev)
 	}
 	app := channel.HostEndpoint(h.Machine, profile+":"+host)
-	ch, err := channel.New(sys.Eng, h.Bus, cfg, app)
+	ch, err := channel.New(h.Eng, h.Bus, cfg, app)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -75,6 +75,15 @@ type Spec struct {
 	// names; System.OpenChannel instantiates a profile between a host and
 	// one of its devices.
 	Channels []ChannelSpec
+	// EnginePerHost gives every host its own simulation engine (seeded
+	// deterministically from the build seed) instead of sharing one
+	// clock. A cluster coordinator can then execute hosts in parallel
+	// under a conservative window (sim.Group) — the per-host engines
+	// interact only through bridge links with positive latency. The mode
+	// excludes the components that inherently share one clock: Net,
+	// Stations, NAS and Faults all require a single engine and are
+	// rejected by Build when this is set.
+	EnginePerHost bool
 }
 
 // ChannelSpec names one channel configuration profile on a Spec.

@@ -11,10 +11,14 @@
 // With -grid it instead runs the full X7 rate × policy grid exactly as
 // cmd/hydra-bench does.
 //
+// With -trace FILE the cell runs with the virtual-time recorder attached
+// and writes the trace — Chrome trace-event JSON (load it in Perfetto),
+// or CSV when FILE ends in .csv. cmd/hydra-trace summarizes the file.
+//
 // Usage:
 //
 //	chan-saturate [-rate N] [-batch N] [-coalesce DUR] [-seconds N]
-//	              [-seed N] [-json] [-grid]
+//	              [-seed N] [-json] [-grid] [-trace out.json]
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	"hydra/internal/experiments"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 )
 
@@ -37,10 +42,14 @@ func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON on stdout")
 	grid := flag.Bool("grid", false, "run the full X7 rate × policy grid instead of one cell")
+	tracePath := flag.String("trace", "", "record a virtual-time trace of the cell and write it here (.json Chrome trace-event, .csv CSV)")
 	flag.Parse()
 
 	duration := sim.Seconds(*seconds)
 	if *grid {
+		if *tracePath != "" {
+			log.Fatal("-trace records a single cell; drop -grid")
+		}
 		res, err := experiments.RunSaturation(*seed, duration)
 		if err != nil {
 			log.Fatal(err)
@@ -52,9 +61,21 @@ func main() {
 		return
 	}
 
-	row, err := experiments.RunSaturationCell(*seed, duration, *rate, *batch, sim.Time(*coalesce))
+	var trace *obs.Config
+	if *tracePath != "" {
+		trace = &obs.Config{}
+	}
+	row, tr, err := experiments.RunSaturationCellTraced(*seed, duration, *rate, *batch, sim.Time(*coalesce), trace)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		if err := tr.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		if dropped := tr.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "chan-saturate: trace ring overflowed, oldest %d records dropped\n", dropped)
+		}
 	}
 	rendered := fmt.Sprintf(
 		"chan-saturate: %d msgs/s × %v, batch %d, coalesce %v (seed %d)\n"+

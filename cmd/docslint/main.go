@@ -2,9 +2,10 @@
 // docs-lint step alongside go vet. It enforces two invariants:
 //
 //  1. Every relative markdown link in the top-level docs (README.md,
-//     DESIGN.md, CHANGES.md, ROADMAP.md and every examples/*/README.md)
-//     resolves to a file or directory that actually exists — stale links
-//     are the fastest way for a docs pass to rot.
+//     DESIGN.md, CHANGES.md, ROADMAP.md, cmd/README.md and every
+//     examples/*/README.md) resolves to a file or directory that
+//     actually exists — stale links are the fastest way for a docs pass
+//     to rot.
 //  2. Every package under internal/ carries a package-level doc comment in
 //     at least one of its files, so `go doc` always has something to say
 //     about every layer of the architecture.
@@ -53,7 +54,8 @@ func main() {
 
 // docFiles lists the markdown files under lint.
 func docFiles(root string) []string {
-	files := []string{"README.md", "DESIGN.md", "CHANGES.md", "ROADMAP.md"}
+	files := []string{"README.md", "DESIGN.md", "CHANGES.md", "ROADMAP.md",
+		filepath.Join("cmd", "README.md")}
 	matches, _ := filepath.Glob(filepath.Join(root, "examples", "*", "README.md"))
 	sort.Strings(matches)
 	out := make([]string, 0, len(files)+len(matches))

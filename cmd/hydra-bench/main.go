@@ -10,9 +10,10 @@
 // seeds twice: serially, then fanned out over the testbed.Sweep worker
 // pool. Per-seed results are bit-identical; only the wall clock differs.
 //
-// The -scenario flag runs a single experiment by name (e.g. -scenario
-// x6-failover, or the aliases x8/x9 for x8-contention/x9-cluster), which
-// makes iterating on one table cheap. CI archives `-json -scenario
+// The -scenario flag runs selected experiments by name, comma-separated
+// (e.g. -scenario x6-failover or -scenario engine,x7-saturation,x9; the
+// aliases x8/x9 expand to x8-contention/x9-cluster), which makes
+// iterating on one table cheap. CI archives `-json -scenario
 // x7-saturation` output as the per-commit channel hot-path baseline
 // (cycles/message, latency, interrupts, event volume), `-json -scenario
 // x8-contention` as the multi-app contention baseline (admissions, quota
@@ -24,16 +25,24 @@
 //
 // Two scenarios gate the simulator core itself: `engine` runs the
 // chain/wide/churn microbenchmarks (events/sec and allocs/event for the
-// ladder queue + pooled events), and `x9-parallel` runs the
-// conservative-window cluster cell twice — window bodies on one worker,
-// then many — failing unless the rows match bit for bit. The -baseline
-// flag compares the current run's *_events_per_sec metrics against an
-// archived BENCH_*.json and fails on a >20% regression; CI runs
-// `-scenario engine -baseline BENCH_0006.json` per commit.
+// ladder queue + pooled events) plus the chain-trace-off/on recorder
+// overhead rows, and `x9-parallel` runs the conservative-window cluster
+// cell twice — window bodies on one worker, then many — failing unless
+// the rows match bit for bit. The -baseline flag compares the current
+// run against an archived BENCH_*.json and fails on a regression:
+// *_events_per_sec and *_msgs_per_sec must stay above 0.8× the
+// baseline, *_cycles_per_msg below 1.25×. CI runs `-scenario
+// engine,x7-saturation,x9-cluster -baseline BENCH_0007.json` per commit.
+//
+// The -trace flag additionally runs one traced x7 saturation cell and
+// writes its merged recorder stream as Chrome trace-event JSON
+// (Perfetto-loadable; a .csv extension selects CSV instead), failing
+// unless the per-message trace records reconcile with channel.Stats.
+// cmd/hydra-trace summarizes the file.
 //
 // Usage:
 //
-//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario name] [-baseline file]
+//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario a,b,...] [-baseline file] [-trace out.json]
 package main
 
 import (
@@ -43,10 +52,12 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"hydra/internal/experiments"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 	"hydra/internal/tivopc"
 )
@@ -70,14 +81,26 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	sweepN := flag.Int("sweep", 8, "jitter-sweep replicas (0 disables the sweep scenario)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-	scenario := flag.String("scenario", "", "run only the named scenario (e.g. x6-failover, x8)")
-	baseline := flag.String("baseline", "", "BENCH_*.json to compare against: fail if any *_events_per_sec metric regresses >20%")
+	scenario := flag.String("scenario", "", "run only the named scenarios, comma-separated (e.g. x6-failover or engine,x7-saturation,x9)")
+	baseline := flag.String("baseline", "", "BENCH_*.json to compare against: fail if throughput or cycles/msg metrics regress")
+	tracePath := flag.String("trace", "", "run one traced x7 cell and write its trace here (.json Chrome trace-event, .csv CSV)")
 	flag.Parse()
-	if *scenario == "x8" { // short alias for the contention sweep
-		*scenario = "x8-contention"
-	}
-	if *scenario == "x9" { // short alias for the cluster sharding grid
-		*scenario = "x9-cluster"
+
+	// selected is the requested scenario set (empty = run everything);
+	// matched tracks which entries named a real scenario.
+	selected := map[string]bool{}
+	matched := map[string]bool{}
+	for _, name := range strings.Split(*scenario, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "":
+			continue
+		case "x8": // short alias for the contention sweep
+			name = "x8-contention"
+		case "x9": // short alias for the cluster sharding grid
+			name = "x9-cluster"
+		}
+		selected[name] = true
 	}
 
 	duration := experiments.DefaultDuration
@@ -92,12 +115,11 @@ func main() {
 			*seed, duration)
 	}
 
-	ran := 0
 	timed := func(name string, run func() (map[string]float64, string, error)) {
-		if *scenario != "" && name != *scenario {
+		if len(selected) > 0 && !selected[name] {
 			return
 		}
-		ran++
+		matched[name] = true
 		start := time.Now()
 		metrics, rendered, err := run()
 		check(err)
@@ -342,16 +364,27 @@ func main() {
 		return m, rendered, nil
 	})
 
-	if *scenario == "table2-jitter-sweep" && *sweepN <= 0 {
+	if selected["table2-jitter-sweep"] && *sweepN <= 0 {
 		check(fmt.Errorf("scenario table2-jitter-sweep is disabled by -sweep 0"))
 	}
-	if *sweepN > 0 && (*scenario == "" || *scenario == "table2-jitter-sweep") {
-		ran++
+	if *sweepN > 0 && (len(selected) == 0 || selected["table2-jitter-sweep"]) {
+		matched["table2-jitter-sweep"] = true
 		runSweep(rep, *seed, *sweepN, *workers, duration, verbose)
 	}
 
-	if *scenario != "" && ran == 0 {
-		check(fmt.Errorf("unknown scenario %q", *scenario))
+	var unknown []string
+	for name := range selected {
+		if !matched[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		check(fmt.Errorf("unknown scenario(s) %s", strings.Join(unknown, ", ")))
+	}
+
+	if *tracePath != "" {
+		check(writeX7Trace(*tracePath, *seed, verbose))
 	}
 
 	if *baseline != "" {
@@ -365,15 +398,36 @@ func main() {
 	}
 }
 
-// regressionBand is the events/sec floor relative to the committed
-// baseline: throughput metrics are wall-clock derived, so CI tolerates
-// up to a 20% dip before calling it a regression.
-const regressionBand = 0.8
+// throughputBand is the floor for higher-is-better rate metrics
+// (*_events_per_sec, *_msgs_per_sec) relative to the committed baseline:
+// they are wall-clock derived, so CI tolerates up to a 20% dip before
+// calling it a regression. cyclesBand is the ceiling for the
+// lower-is-better *_cycles_per_msg metrics; those are virtual-clock
+// derived and deterministic for a seed, but the band leaves room for
+// intentional model changes that shift host cost slightly.
+const (
+	throughputBand = 0.8
+	cyclesBand     = 1.25
+)
 
-// compareBaseline checks every *_events_per_sec metric this run shares
-// with the archived report and errors if any fell below the band.
-// Scenario or metric keys present on only one side are ignored, so old
-// baselines stay usable as the suite grows.
+// baselineClass maps a metric-key suffix to its regression test: floor
+// ratios fail below the band, ceiling ratios fail above it.
+type baselineClass struct {
+	suffix  string
+	band    float64
+	ceiling bool
+}
+
+var baselineClasses = []baselineClass{
+	{suffix: "_events_per_sec", band: throughputBand},
+	{suffix: "_msgs_per_sec", band: throughputBand},
+	{suffix: "_cycles_per_msg", band: cyclesBand, ceiling: true},
+}
+
+// compareBaseline checks every classed metric (throughput floors,
+// cycles/msg ceilings) this run shares with the archived report and
+// errors on any regression. Scenario or metric keys present on only one
+// side are ignored, so old baselines stay usable as the suite grows.
 func compareBaseline(rep *report, path string, verbose bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -387,6 +441,14 @@ func compareBaseline(rep *report, path string, verbose bool) error {
 	for _, s := range base.Scenarios {
 		baseMetrics[s.Name] = s.Metrics
 	}
+	classOf := func(key string) *baselineClass {
+		for i := range baselineClasses {
+			if strings.HasSuffix(key, baselineClasses[i].suffix) {
+				return &baselineClasses[i]
+			}
+		}
+		return nil
+	}
 	var regressions []string
 	compared := 0
 	for _, s := range rep.Scenarios {
@@ -394,31 +456,83 @@ func compareBaseline(rep *report, path string, verbose bool) error {
 		if bm == nil {
 			continue
 		}
-		for key, got := range s.Metrics {
-			if !strings.HasSuffix(key, "_events_per_sec") {
+		// Sort for deterministic report order (Metrics is a map).
+		keys := make([]string, 0, len(s.Metrics))
+		for key := range s.Metrics {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			cl := classOf(key)
+			if cl == nil {
 				continue
 			}
-			want, ok := bm[key]
-			if !ok || want <= 0 {
+			got, want := s.Metrics[key], bm[key]
+			if _, ok := bm[key]; !ok || want <= 0 {
 				continue
 			}
 			compared++
 			ratio := got / want
 			if verbose {
-				fmt.Printf("baseline %s/%s: %.0f vs %.0f events/s (%.2fx)\n", s.Name, key, got, want, ratio)
+				fmt.Printf("baseline %s/%s: %.2f vs %.2f (%.2fx)\n", s.Name, key, got, want, ratio)
 			}
-			if ratio < regressionBand {
+			bad, dir := ratio < cl.band, "<"
+			if cl.ceiling {
+				bad, dir = ratio > cl.band, ">"
+			}
+			if bad {
 				regressions = append(regressions,
-					fmt.Sprintf("%s/%s: %.0f events/s vs baseline %.0f (%.2fx < %.2fx)",
-						s.Name, key, got, want, ratio, regressionBand))
+					fmt.Sprintf("%s/%s: %.2f vs baseline %.2f (%.2fx %s %.2fx)",
+						s.Name, key, got, want, ratio, dir, cl.band))
 			}
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("baseline %s: no comparable *_events_per_sec metrics (ran scenarios: %d)", path, len(rep.Scenarios))
+		return fmt.Errorf("baseline %s: no comparable classed metrics (ran scenarios: %d)", path, len(rep.Scenarios))
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("baseline %s: throughput regressed:\n  %s", path, strings.Join(regressions, "\n  "))
+		return fmt.Errorf("baseline %s: regressed:\n  %s", path, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// writeX7Trace runs one traced x7 saturation cell (the high-rate batched
+// configuration) and writes its merged recorder stream to path — Chrome
+// trace-event JSON unless the extension picks CSV. Before writing it
+// re-derives the per-message totals from the trace and fails unless they
+// reconcile exactly with channel.Stats, so an archived trace is known to
+// agree with the accounting the tables report.
+func writeX7Trace(path string, seed int64, verbose bool) error {
+	row, tr, err := experiments.RunSaturationCellTraced(
+		seed, experiments.X7Duration, 50_000, 8, 100*sim.Microsecond, &obs.Config{})
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if n := tr.Dropped(); n != 0 {
+		return fmt.Errorf("trace: ring overflowed, %d records dropped", n)
+	}
+	counts := map[string]uint64{}
+	for _, rec := range tr.Merged() {
+		counts[rec.Name]++
+	}
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"chan.send", row.Sent},
+		{"chan.delivered", row.Delivered},
+		{"chan.irq", row.Interrupts},
+	} {
+		if counts[c.name] != c.want {
+			return fmt.Errorf("trace: %s records %d, channel stats say %d", c.name, counts[c.name], c.want)
+		}
+	}
+	if err := tr.WriteFile(path); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if verbose {
+		fmt.Printf("trace: x7 cell (50k/s, batch 8) -> %s: %d records, %d msgs reconciled\n",
+			path, tr.Len(), row.Sent)
 	}
 	return nil
 }

@@ -2,9 +2,16 @@
 // definitions: XML well-formedness, required fields, GUID syntax,
 // constraint types, device classes and parameter types.
 //
+// With -traceguard DIR it instead runs the repository's trace-guard
+// check: every obs recorder call site (Instant/Begin/End/Complete on a
+// *tr shard) under DIR/internal must sit inside an `if ... .On()` fast
+// path, so a disabled recorder never evaluates record arguments. CI runs
+// it against the repo root.
+//
 // Usage:
 //
 //	odflint file1.odf iface1.xml ...
+//	odflint -traceguard .
 package main
 
 import (
@@ -16,8 +23,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) == 3 && os.Args[1] == "-traceguard" {
+		if traceguard(os.Args[2]) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: odflint <file.odf|file.xml> ...")
+		fmt.Fprintln(os.Stderr, "usage: odflint <file.odf|file.xml> ... | odflint -traceguard <repo-root>")
 		os.Exit(2)
 	}
 	failed := 0

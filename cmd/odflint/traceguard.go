@@ -1,0 +1,151 @@
+package main
+
+// The -traceguard mode: a static check that every trace-recorder call
+// site in the simulator's hot paths is protected by the enabled-flag
+// fast path. The obs recorder's overhead contract says a disabled
+// recorder costs one nil-check branch — which only holds if call sites
+// never evaluate record arguments before checking On(). The guard walks
+// every non-test file under internal/ (except internal/obs itself, whose
+// methods are the implementation) and requires each call to a recorder
+// method (Instant, Begin, End, Complete) to sit lexically inside an `if`
+// whose condition calls .On() — including closures built inside such a
+// block, the idiom the async span-end sites use.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// recorderMethods are the obs.Shard recording entry points.
+var recorderMethods = map[string]bool{
+	"Instant": true, "Begin": true, "End": true, "Complete": true,
+}
+
+// traceguard lints internal/ under root; returns the number of unguarded
+// call sites after printing one line per violation.
+func traceguard(root string) int {
+	dirs, err := filepath.Glob(filepath.Join(root, "internal", "*"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceguard:", err)
+		return 1
+	}
+	sort.Strings(dirs)
+	violations, files := 0, 0
+	for _, dir := range dirs {
+		if filepath.Base(dir) == "obs" {
+			continue // the recorder itself
+		}
+		if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceguard: %s: %v\n", dir, err)
+			violations++
+			continue
+		}
+		for _, pkg := range pkgs {
+			for path, f := range pkg.Files {
+				files++
+				violations += lintFile(fset, path, f)
+			}
+		}
+	}
+	if violations == 0 {
+		fmt.Printf("traceguard: ok (%d files, every recorder call guarded by .On())\n", files)
+	}
+	return violations
+}
+
+// lintFile reports recorder calls not nested under an On()-conditioned if.
+func lintFile(fset *token.FileSet, path string, f *ast.File) int {
+	v := &guardVisitor{fset: fset, path: path}
+	ast.Walk(v, f)
+	return v.violations
+}
+
+// guardVisitor tracks the lexical ancestor stack during the walk.
+type guardVisitor struct {
+	fset       *token.FileSet
+	path       string
+	stack      []ast.Node
+	violations int
+}
+
+func (v *guardVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	v.stack = append(v.stack, n)
+	if call, ok := n.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			recorderMethods[sel.Sel.Name] && isRecorderExpr(sel.X) && !v.guarded() {
+			pos := v.fset.Position(call.Pos())
+			fmt.Fprintf(os.Stderr, "traceguard: %s:%d: %s.%s call not inside an if .On() guard\n",
+				v.path, pos.Line, exprString(sel.X), sel.Sel.Name)
+			v.violations++
+		}
+	}
+	return v
+}
+
+// guarded reports whether any enclosing if-statement's condition calls
+// .On(). The call may sit in a closure defined inside the guarded block;
+// lexical nesting is exactly the overhead contract (no argument
+// evaluation unless the guard passed when the closure was built).
+func (v *guardVisitor) guarded() bool {
+	for _, anc := range v.stack {
+		ifStmt, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "On" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isRecorderExpr reports whether the receiver expression is a recorder
+// shard by the repo's naming convention: the identifier or final field
+// is "tr" or ends in "tr" (tr, dtr, rt.tr, c.tr, ...).
+func isRecorderExpr(x ast.Expr) bool {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return e.Name == "tr" || strings.HasSuffix(e.Name, "tr")
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "tr" || strings.HasSuffix(e.Sel.Name, "tr")
+	}
+	return false
+}
+
+// exprString renders the small receiver expressions the check reports.
+func exprString(x ast.Expr) string {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "?"
+}

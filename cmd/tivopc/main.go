@@ -11,17 +11,24 @@
 // pins memory while the stream runs, demonstrating session isolation and
 // teardown reclamation.
 //
+// With -trace FILE the run records a virtual-time trace of every layer
+// (channels, bus, host OS, deployment) and writes it as Chrome
+// trace-event JSON — load it in Perfetto, or summarize it with
+// cmd/hydra-trace. A .csv extension selects CSV instead.
+//
 // Usage:
 //
 //	tivopc [-server simple|sendfile|offloaded] [-client idle|user|offloaded]
-//	       [-seconds N] [-seed N] [-crash-nic N] [-background]
+//	       [-seconds N] [-seed N] [-crash-nic N] [-background] [-trace out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 	"hydra/internal/tivopc"
 )
@@ -33,8 +40,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	crashNIC := flag.Int("crash-nic", 0, "crash the server NIC after N seconds (failover scenario; 0 = off)")
 	background := flag.Bool("background", false, "run a competing background app session next to the offloaded server")
+	tracePath := flag.String("trace", "", "record a virtual-time trace and write it here (.json Chrome trace-event, .csv CSV)")
 	flag.Parse()
 
+	if *crashNIC > 0 || *background {
+		if *tracePath != "" {
+			log.Fatal("-trace covers the plain streaming run; drop -crash-nic/-background")
+		}
+	}
 	if *crashNIC > 0 {
 		runFailover(*seed, sim.Time(*seconds)*sim.Second, sim.Time(*crashNIC)*sim.Second)
 		return
@@ -60,7 +73,11 @@ func main() {
 	}
 
 	duration := sim.Time(*seconds) * sim.Second
-	tb := tivopc.NewTestbed(*seed, duration)
+	var trace *obs.Config
+	if *tracePath != "" {
+		trace = &obs.Config{}
+	}
+	tb := tivopc.NewTestbedTraced(*seed, duration, trace)
 	client, err := tivopc.StartClient(tb, clientKind)
 	if err != nil {
 		log.Fatal(err)
@@ -98,6 +115,15 @@ func main() {
 		fmt.Printf("  frames decoded on GPU: %d (verified %d)\n",
 			client.Decoder.Frames, client.Display.VerifiedOK)
 		fmt.Printf("  recorded to NAS: %d bytes\n", client.DiskFile.Written)
+	}
+	if *tracePath != "" {
+		if err := tb.Tracer.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		if dropped := tb.Tracer.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "tivopc: trace ring overflowed, oldest %d records dropped\n", dropped)
+		}
+		fmt.Printf("  trace: %d records -> %s\n", tb.Tracer.Len(), *tracePath)
 	}
 }
 

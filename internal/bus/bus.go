@@ -14,6 +14,7 @@ package bus
 import (
 	"sort"
 
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 )
 
@@ -60,6 +61,13 @@ type Stats struct {
 	GatherSegments uint64
 }
 
+// Trace record names (obs.CatBus): one complete span per transaction,
+// covering the committed wire occupancy [start, finish].
+const (
+	trXfer       = "bus.xfer"
+	trXferGather = "bus.xfer.gather"
+)
+
 // Bus is the shared interconnect. Transfers are serialized: a transfer
 // issued while another is in flight queues behind it (FIFO), which produces
 // realistic contention when several devices DMA concurrently.
@@ -71,6 +79,9 @@ type Bus struct {
 
 	total   Stats
 	byAgent map[Agent]*Stats
+
+	// tr is the engine's trace shard when CatBus is enabled, else nil.
+	tr *obs.Shard
 
 	// Degradation state (driven by internal/faults): slowdown multiplies
 	// every transfer's wire time; outages block the link entirely.
@@ -84,7 +95,7 @@ func New(eng *sim.Engine, cfg Config) *Bus {
 	if cfg.BytesPerSec <= 0 {
 		panic("bus: non-positive bandwidth")
 	}
-	return &Bus{eng: eng, cfg: cfg, byAgent: make(map[Agent]*Stats)}
+	return &Bus{eng: eng, cfg: cfg, byAgent: make(map[Agent]*Stats), tr: obs.ForCat(eng, obs.CatBus)}
 }
 
 // Config returns the bus configuration.
@@ -168,6 +179,15 @@ func (b *Bus) transferDur(src Agent, dsts []Agent, size int, extra sim.Time, don
 	finish := start + dur
 	b.busy = finish
 	b.wireTime += dur
+	// Start and finish are committed at issue, so the whole occupancy
+	// span records synchronously.
+	if b.tr.On() {
+		name := trXfer
+		if extra > 0 {
+			name = trXferGather
+		}
+		b.tr.Complete(obs.CatBus, name, start, dur, int64(size))
+	}
 
 	b.total.Transactions++
 	b.total.Bytes += uint64(size)
@@ -257,6 +277,19 @@ func (b *Bus) Outages() uint64 { return b.outages }
 
 // OutageTime reports the cumulative injected outage duration.
 func (b *Bus) OutageTime() sim.Time { return b.outageTime }
+
+// Publish writes the bus's aggregate accounting into the registry under
+// prefix: .transactions, .bytes, .gather_segments, .utilization,
+// .outages, .outage_ns, .slowdown.
+func (b *Bus) Publish(r *obs.Registry, prefix string) {
+	r.Gauge(prefix + ".transactions").Set(float64(b.total.Transactions))
+	r.Gauge(prefix + ".bytes").Set(float64(b.total.Bytes))
+	r.Gauge(prefix + ".gather_segments").Set(float64(b.total.GatherSegments))
+	r.Gauge(prefix + ".utilization").Set(b.Utilization())
+	r.Gauge(prefix + ".outages").Set(float64(b.outages))
+	r.Gauge(prefix + ".outage_ns").Set(float64(b.outageTime))
+	r.Gauge(prefix + ".slowdown").Set(b.Slowdown())
+}
 
 // Utilization reports the fraction of elapsed virtual time the bus has spent
 // transferring data, over [0, now]. Queued-but-unstarted work counts because

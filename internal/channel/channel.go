@@ -27,12 +27,32 @@ package channel
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
 	"hydra/internal/bus"
 	"hydra/internal/cache"
 	"hydra/internal/device"
 	"hydra/internal/hostos"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
+)
+
+// Trace record names (obs.CatChannel). Counts reconcile with Stats:
+// chan.send == Sent, chan.delivered == Delivered, chan.irq == Interrupts,
+// chan.drop == Dropped, chan.queued == Queued, chan.batch + chan.coalesce
+// == Batches, chan.coalesce == CoalesceFlushes.
+const (
+	trSend      = "chan.send"
+	trDelivered = "chan.delivered"
+	trIRQ       = "chan.irq"
+	trDrop      = "chan.drop"
+	trQueued    = "chan.queued"
+	trBatch     = "chan.batch"
+	trCoalesce  = "chan.coalesce"
+	trTx        = "chan.tx"
+	trDMA       = "chan.dma"
+	trDMAGather = "chan.dma.gather"
+	trDeliver   = "chan.deliver"
 )
 
 // SyncMode selects handler dispatch semantics (§3.2 "synchronization
@@ -134,6 +154,37 @@ type Stats struct {
 	Undelivered uint64
 }
 
+// Publish writes every Stats field into the registry as a gauge named
+// <prefix>.<snake_case_field>. It walks the struct by reflection so a
+// field added to Stats can never be silently missing from the metrics
+// surface (TestStatsPublishCoversEveryField pins this).
+func (s Stats) Publish(r *obs.Registry, prefix string) {
+	v := reflect.ValueOf(s)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		r.Gauge(prefix + "." + snakeCase(t.Field(i).Name)).Set(float64(v.Field(i).Uint()))
+	}
+}
+
+// snakeCase converts a Go field name (Sent, CoalesceFlushes, SGWrites)
+// to its metric form (sent, coalesce_flushes, sg_writes).
+func snakeCase(name string) string {
+	var b []byte
+	rs := []rune(name)
+	for i, r := range rs {
+		if r >= 'A' && r <= 'Z' {
+			prevLower := i > 0 && rs[i-1] >= 'a' && rs[i-1] <= 'z'
+			nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+			if i > 0 && (prevLower || nextLower) {
+				b = append(b, '_')
+			}
+			r += 'a' - 'A'
+		}
+		b = append(b, byte(r))
+	}
+	return string(b)
+}
+
 // Add accumulates other into s. Cluster bridges use it to merge the two
 // legs of a proxied inter-host channel into one stats surface, so batching
 // and coalescing remain observable end to end across the link.
@@ -161,10 +212,13 @@ type Handler func(data []byte)
 // message is one queued payload; sizes is non-empty for scatter-gather
 // sends and records the original fragment lengths so the wire can gather
 // them. Messages and their buffers are pooled per channel: they travel
-// from Write through transmit/deliver and back to the free list.
+// from Write through transmit/deliver and back to the free list. id is a
+// per-channel monotonic trace identifier, stamped only when tracing is
+// enabled; multicast copies share the original's id.
 type message struct {
 	data  []byte
 	sizes []int
+	id    uint64
 }
 
 // Endpoint is one end of a channel.
@@ -219,6 +273,12 @@ type Channel struct {
 	stats  Stats
 	closed bool
 
+	// tr is the engine's trace shard when CatChannel is enabled, else nil;
+	// every trace site guards on tr.On() so a disabled trace costs one
+	// branch. nextID hands out message trace ids.
+	tr     *obs.Shard
+	nextID uint64
+
 	// Free lists for the steady-state hot path: message envelopes (with
 	// their payload and fragment-size buffers) and the transient batch
 	// slices and gather size lists built per transmit. Everything cycles
@@ -248,6 +308,7 @@ func (c *Channel) getMsg() *message {
 func (c *Channel) putMsg(m *message) {
 	m.data = m.data[:0]
 	m.sizes = m.sizes[:0]
+	m.id = 0
 	if len(c.msgFree) < poolCap {
 		c.msgFree = append(c.msgFree, m)
 	}
@@ -309,7 +370,7 @@ func New(eng *sim.Engine, b *bus.Bus, cfg Config, creator *Endpoint) (*Channel, 
 	if cfg.Coalesce < 0 {
 		cfg.Coalesce = 0
 	}
-	ch := &Channel{eng: eng, b: b, cfg: cfg, creator: creator}
+	ch := &Channel{eng: eng, b: b, cfg: cfg, creator: creator, tr: obs.ForCat(eng, obs.CatChannel)}
 	ch.credits[0] = cfg.RingEntries
 	ch.credits[1] = cfg.RingEntries
 	creator.ch = ch
@@ -475,14 +536,24 @@ func (e *Endpoint) write(msg *message) error {
 	} else {
 		dir = 1
 	}
+	if c.tr.On() {
+		c.nextID++
+		msg.id = c.nextID
+	}
 
 	if c.credits[dir] <= 0 {
 		if !c.cfg.Reliable {
 			c.stats.Dropped++
+			if c.tr.On() {
+				c.tr.Instant(obs.CatChannel, trDrop, int64(msg.id))
+			}
 			c.putMsg(msg)
 			return nil
 		}
 		c.stats.Queued++
+		if c.tr.On() {
+			c.tr.Instant(obs.CatChannel, trQueued, int64(msg.id))
+		}
 		c.pending[dir] = append(c.pending[dir], func() { c.dispatchSend(e, dir, msg) })
 		return nil
 	}
@@ -535,6 +606,13 @@ func (c *Channel) flushBatch(src *Endpoint, dir int, coalesced bool) {
 	if coalesced {
 		c.stats.CoalesceFlushes++
 	}
+	if c.tr.On() {
+		name := trBatch
+		if coalesced {
+			name = trCoalesce
+		}
+		c.tr.Instant(obs.CatChannel, name, int64(len(msgs)))
+	}
 	c.transmit(src, dir, msgs)
 }
 
@@ -570,6 +648,11 @@ func (c *Channel) transmit(src *Endpoint, dir int, msgs []*message) {
 	}
 	c.stats.Sent += uint64(n)
 	c.stats.Bytes += uint64(total)
+	if c.tr.On() {
+		for _, m := range msgs {
+			c.tr.Instant(obs.CatChannel, trSend, int64(m.id))
+		}
+	}
 
 	afterPrep := func() {
 		remaining := len(dests)
@@ -585,6 +668,7 @@ func (c *Channel) transmit(src *Endpoint, dir int, msgs []*message) {
 				for _, m := range msgs {
 					cm := c.getMsg()
 					cm.data = append(cm.data, m.data...)
+					cm.id = m.id
 					batch = append(batch, cm)
 				}
 			}
@@ -610,6 +694,11 @@ func (c *Channel) transmit(src *Endpoint, dir int, msgs []*message) {
 
 	// Sender-side preparation: one kernel entry / firmware dispatch posts
 	// the whole group; descriptors beyond the first cost only their post.
+	if c.tr.On() {
+		h := c.tr.Begin(obs.CatChannel, trTx, int64(n))
+		inner := afterPrep
+		afterPrep = func() { c.tr.End(h); inner() }
+	}
 	switch {
 	case src.host != nil:
 		cycles := uint64(1500) + 300*uint64(n-1) // syscall + descriptor posts
@@ -631,6 +720,15 @@ func (c *Channel) transmit(src *Endpoint, dir int, msgs []*message) {
 // batches and scatter-gather messages — ride one gather DMA; a single
 // segment is a plain transfer.
 func (c *Channel) wire(src, dst *Endpoint, sizes []int, total int, done func()) {
+	if c.tr.On() {
+		name := trDMA
+		if len(sizes) > 1 {
+			name = trDMAGather
+		}
+		h := c.tr.Begin(obs.CatChannel, name, int64(total))
+		inner := done
+		done = func() { c.tr.End(h); inner() }
+	}
 	if len(sizes) > 1 {
 		switch {
 		case src.host != nil && dst.dev != nil:
@@ -682,6 +780,11 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 		c.putBatch(msgs, handed)
 		done()
 	}
+	if c.tr.On() {
+		h := c.tr.Begin(obs.CatChannel, trDeliver, int64(n))
+		inner := finish
+		finish = func() { c.tr.End(h); inner() }
+	}
 	run := func(complete func()) {
 		if dst.closed {
 			discarded = true
@@ -692,6 +795,11 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 			handed = true
 			for _, m := range msgs {
 				dst.inbox = append(dst.inbox, m.data)
+			}
+			if c.tr.On() {
+				for _, m := range msgs {
+					c.tr.Instant(obs.CatChannel, trDelivered, int64(m.id))
+				}
 			}
 			complete()
 			return
@@ -704,12 +812,20 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 			for _, m := range msgs {
 				dst.handler(m.data)
 			}
+			if c.tr.On() {
+				for _, m := range msgs {
+					c.tr.Instant(obs.CatChannel, trDelivered, int64(m.id))
+				}
+			}
 			complete()
 		}
 		switch {
 		case dst.host != nil:
 			// One interrupt, then one kernel entry dispatching the group.
 			c.stats.Interrupts++
+			if c.tr.On() {
+				c.tr.Instant(obs.CatChannel, trIRQ, int64(n))
+			}
 			dst.host.Interrupt(dst.name, 600, func() {
 				cycles := uint64(2000) + 500*uint64(n-1)
 				// Zero copy still reads the DMA-ed payload once.
@@ -721,6 +837,9 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 			})
 		case dst.dev != nil:
 			c.stats.Interrupts++
+			if c.tr.On() {
+				c.tr.Instant(obs.CatChannel, trIRQ, int64(n))
+			}
 			dst.dev.Exec(800+200*uint64(n-1), invoke)
 		default:
 			invoke()

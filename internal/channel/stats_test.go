@@ -1,0 +1,80 @@
+package channel
+
+// Reflection-based audits of the Stats surface. Stats fields get added
+// as features land (Batches in PR 4, SGWrites in PR 5, Undelivered in
+// PR 6); these tests walk the struct so a future field can never be
+// silently dropped from bridge-merged stats or from the metrics
+// registry — adding a field makes them pass or fail on their own,
+// with no test edit to forget.
+
+import (
+	"reflect"
+	"testing"
+
+	"hydra/internal/obs"
+)
+
+func TestStatsAddMergesEveryField(t *testing.T) {
+	var a, b Stats
+	rb := reflect.ValueOf(&b).Elem()
+	for i := 0; i < rb.NumField(); i++ {
+		f := rb.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats field %s is %s; extend this test for non-uint64 fields",
+				rb.Type().Field(i).Name, f.Kind())
+		}
+		f.SetUint(uint64(i + 1))
+	}
+
+	a.Add(b)
+	a.Add(b)
+	ra := reflect.ValueOf(a)
+	for i := 0; i < ra.NumField(); i++ {
+		want := 2 * uint64(i+1)
+		if got := ra.Field(i).Uint(); got != want {
+			t.Errorf("Stats.Add drops field %s: got %d, want %d",
+				ra.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestStatsPublishCoversEveryField(t *testing.T) {
+	var s Stats
+	rv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetUint(uint64(i + 10))
+	}
+	r := obs.NewRegistry()
+	s.Publish(r, "chan")
+	snap := r.Snapshot()
+	if got, want := len(snap.Values), rv.NumField(); got != want {
+		t.Fatalf("published %d metrics, want %d (one per Stats field)", got, want)
+	}
+	for i := 0; i < rv.NumField(); i++ {
+		name := "chan." + snakeCase(rv.Type().Field(i).Name)
+		v, ok := snap.Get(name)
+		if !ok {
+			t.Errorf("field %s missing from registry (looked for %q)",
+				rv.Type().Field(i).Name, name)
+			continue
+		}
+		if v != float64(i+10) {
+			t.Errorf("%s = %v, want %d", name, v, i+10)
+		}
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Sent":            "sent",
+		"CoalesceFlushes": "coalesce_flushes",
+		"SGWrites":        "sg_writes",
+		"SGFragments":     "sg_fragments",
+		"Undelivered":     "undelivered",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

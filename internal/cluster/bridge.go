@@ -20,8 +20,21 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/guid"
 	"hydra/internal/hostos"
+	"hydra/internal/obs"
 	"hydra/internal/resource"
 	"hydra/internal/sim"
+)
+
+// Trace record names (obs.CatCluster). Bridge hops record on the engine
+// they execute on: bridge.tx on the source host's shard, bridge.link (the
+// serialized wire + propagation span) on the source, bridge.rx on the
+// destination — so a cross-host message is visible leaving one shard and
+// arriving on another at the matching virtual times.
+const (
+	trBridgeTx   = "bridge.tx"
+	trBridgeLink = "bridge.link"
+	trBridgeRx   = "bridge.rx"
+	trBridgeDrop = "bridge.drop"
 )
 
 // forwarder is the host-side proxy Offcode deployed (one per end) for a
@@ -62,6 +75,7 @@ type bridgeLeg struct {
 	node      *resource.Node    // owns the channel; Close retires it
 	fwd       *forwarder        // nil on local edges
 	fwdHandle *core.Handle
+	tr        *obs.Shard // host engine's shard when CatCluster enabled
 }
 
 // Bridge materializes one cluster edge A↔B.
@@ -156,7 +170,10 @@ func (c *Coordinator) buildLeg(br *Bridge, side int, bind string, back *backend,
 		k(fmt.Errorf("cluster: bridge channel to %s: %w", bind, err))
 		return
 	}
-	leg := &bridgeLeg{back: back, handle: h, ch: ch, end: end, node: node}
+	leg := &bridgeLeg{
+		back: back, handle: h, ch: ch, end: end, node: node,
+		tr: obs.ForCat(c.engineOf(back), obs.CatCluster),
+	}
 	br.legs[side] = leg
 
 	cross := br.legs[0] != nil && br.legs[1] != nil && br.legs[0].back != br.legs[1].back
@@ -237,10 +254,14 @@ func (b *Bridge) wire() {
 func (b *Bridge) relay(dir int, payload []byte) {
 	data := append([]byte(nil), payload...)
 	src, dst := b.legs[dir], b.legs[1-dir]
+	if src.tr.On() {
+		src.tr.Instant(obs.CatCluster, trBridgeTx, int64(len(data)))
+	}
 	if src.back == dst.back {
 		b.deliver(dir, data)
 		return
 	}
+	dtr := dst.tr
 	m := b.coord.cfg.CostModel
 	txCycles := uint64(m.PerPacketTX + m.PerByteTX*float64(len(data)))
 	src.fwd.exec(txCycles, func() {
@@ -259,13 +280,24 @@ func (b *Bridge) relay(dir int, payload []byte) {
 		}
 		b.coord.linkBusy[linkKey] = start + wire
 		b.coord.linkMu.Unlock()
+		// The link occupancy window is committed here, on the source
+		// engine; the span records on the source shard.
+		if src.tr.On() {
+			src.tr.Complete(obs.CatCluster, trBridgeLink, start, wire+l.Latency, int64(len(data)))
+		}
 		b.coord.across(srcEng, dstEng, start+wire+l.Latency, func() {
 			// Re-read the far leg: a failover may have rebuilt it while the
 			// payload was in flight, and the new leg is the right target.
 			far := b.legs[1-dir]
 			if far == nil || far.fwd == nil {
 				b.dropped[dir]++
+				if dtr.On() {
+					dtr.Instant(obs.CatCluster, trBridgeDrop, int64(len(data)))
+				}
 				return
+			}
+			if dtr.On() {
+				dtr.Instant(obs.CatCluster, trBridgeRx, int64(len(data)))
 			}
 			rxCycles := uint64(m.PerPacketRX + m.InterruptRX + m.PerByteRX*float64(len(data)))
 			far.fwd.exec(rxCycles, func() { b.deliver(dir, data) })

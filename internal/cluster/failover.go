@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"hydra/internal/core"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 )
 
@@ -58,12 +59,19 @@ func (m *Migration) Time() sim.Time { return m.Finished - m.Started }
 // Group.Run.
 func (c *Coordinator) FailHost(name string, k func(*Migration, error)) {
 	eng := c.sys.Eng
+	tr := obs.ForCat(eng, obs.CatCluster)
 	rec := &Migration{Host: name, Started: eng.Now()}
 	record := func(err error) {
 		if err != nil && rec.Err == nil {
 			rec.Err = err
 		}
 		rec.Finished = eng.Now()
+		// The whole checkpoint → re-solve → redeploy → rebridge sequence
+		// becomes one migration span on the system shard.
+		if tr.On() {
+			tr.Complete(obs.CatCluster, "cluster.migrate", rec.Started,
+				rec.Finished-rec.Started, int64(len(rec.Moved)))
+		}
 		c.migrations = append(c.migrations, rec)
 		k(rec, err)
 	}
@@ -107,6 +115,9 @@ func (c *Coordinator) FailHost(name string, k func(*Migration, error)) {
 			if cp, ok := h.Behaviour().(core.Checkpointer); ok {
 				states[bind] = cp.Checkpoint()
 				rec.Checkpointed = append(rec.Checkpointed, bind)
+				if tr.On() {
+					tr.Instant(obs.CatCluster, "cluster.checkpoint", int64(len(states[bind])))
+				}
 			}
 		}
 		delete(c.placements, bind)

@@ -20,6 +20,7 @@ import (
 	"hydra/internal/guid"
 	"hydra/internal/hostos"
 	"hydra/internal/layout"
+	"hydra/internal/obs"
 	"hydra/internal/odf"
 	"hydra/internal/resource"
 	"hydra/internal/sim"
@@ -180,6 +181,10 @@ type Runtime struct {
 	deploys uint64
 	instSeq uint64
 
+	// tr is the engine's trace shard when CatCore is enabled, else nil;
+	// deploy commits, checkpoints and restores record on it.
+	tr *obs.Shard
+
 	// Application sessions (see app.go): every deployment belongs to one.
 	// defaultApp backs the deprecated callback Deploy shim.
 	apps       map[string]*App
@@ -217,6 +222,7 @@ func New(eng *sim.Engine, host *hostos.Machine, b *bus.Bus, dep *depot.Depot, cf
 		byGUID:    make(map[guid.GUID]*Handle),
 		byBind:    make(map[string]*Handle),
 		apps:      make(map[string]*App),
+		tr:        obs.ForCat(eng, obs.CatCore),
 	}
 	rt.loaders[LoaderHostLink] = &hostLinkLoader{rt: rt}
 	rt.loaders[LoaderDeviceLink] = &deviceLinkLoader{rt: rt}

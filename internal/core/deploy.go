@@ -8,6 +8,7 @@ import (
 	"hydra/internal/device"
 	"hydra/internal/guid"
 	"hydra/internal/layout"
+	"hydra/internal/obs"
 	"hydra/internal/odf"
 )
 
@@ -513,6 +514,9 @@ func (rt *Runtime) initialize(handles []*Handle, i int, k func(error)) {
 				if err := cp.Restore(data); err != nil {
 					k(fmt.Errorf("core: %s.Restore: %w", h.BindName, err))
 					return
+				}
+				if rt.tr.On() {
+					rt.tr.Instant(obs.CatCore, "core.restore", int64(len(data)))
 				}
 			}
 		}

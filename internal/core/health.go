@@ -5,6 +5,7 @@ import (
 
 	"hydra/internal/device"
 	"hydra/internal/guid"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 )
 
@@ -215,6 +216,10 @@ func (rt *Runtime) failover(failed *device.Device, detected sim.Time, done func(
 			rec.Err = err
 		}
 		rec.MigrationEnd = rt.eng.Now()
+		if rt.tr.On() {
+			rt.tr.Complete(obs.CatCore, "core.failover", rec.MigrationStart,
+				rec.MigrationEnd-rec.MigrationStart, int64(len(rec.Restored)))
+		}
 		rec.done = true
 		rt.pendingRestore = nil
 		rt.migrating = false
@@ -248,6 +253,9 @@ func (rt *Runtime) failover(failed *device.Device, detected sim.Time, done func(
 		if cp, ok := h.behaviour.(Checkpointer); ok {
 			states[h.BindName] = cp.Checkpoint()
 			rec.Restored = append(rec.Restored, h.BindName)
+			if rt.tr.On() {
+				rt.tr.Instant(obs.CatCore, "core.checkpoint", int64(len(states[h.BindName])))
+			}
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"hydra/internal/guid"
 	"hydra/internal/layout"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 )
 
@@ -215,6 +216,10 @@ func (p *DeployPlan) Commit(k func(*Deployment, error)) {
 		dep.Handles = make(map[string]*Handle)
 		dep.Created = nil
 		dep.Finished = rt.eng.Now()
+		if rt.tr.On() {
+			rt.tr.Complete(obs.CatCore, "core.deploy", dep.Started,
+				dep.Finished-dep.Started, int64(len(dep.Created)))
+		}
 		k(dep, err)
 	}
 	if p.committed {
@@ -266,6 +271,10 @@ func (p *DeployPlan) Commit(k func(*Deployment, error)) {
 		if ri == len(solved) {
 			dep.Created = append([]*Handle(nil), created...)
 			dep.Finished = rt.eng.Now()
+			if rt.tr.On() {
+				rt.tr.Complete(obs.CatCore, "core.deploy", dep.Started,
+					dep.Finished-dep.Started, int64(len(dep.Created)))
+			}
 			k(dep, nil)
 			return
 		}

@@ -12,6 +12,7 @@ import (
 	"hydra/internal/device"
 	"hydra/internal/guid"
 	"hydra/internal/objfile"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 	"hydra/internal/testbed"
 )
@@ -232,9 +233,10 @@ func x9ShardBind(i int) string { return fmt.Sprintf("x9.Shard%02d", i) }
 // buildX9Cell constructs the cell fabric — hosts machines with one
 // XScale NIC each, every depot stocked identically so any shard may
 // land anywhere — without yet committing a plan. perHost selects
-// Spec.EnginePerHost (conservative-window execution).
-func buildX9Cell(seed int64, hosts, shards int, link cluster.Link, perHost bool) (*x9Cell, error) {
-	spec := testbed.Spec{Name: "x9-cluster", EnginePerHost: perHost}
+// Spec.EnginePerHost (conservative-window execution); trace, when
+// non-nil, attaches the obs recorder to every engine.
+func buildX9Cell(seed int64, hosts, shards int, link cluster.Link, perHost bool, trace *obs.Config) (*x9Cell, error) {
+	spec := testbed.Spec{Name: "x9-cluster", EnginePerHost: perHost, Trace: trace}
 	for i := 0; i < hosts; i++ {
 		name := fmt.Sprintf("h%d", i)
 		spec.Hosts = append(spec.Hosts, testbed.HostSpec{
@@ -359,7 +361,7 @@ func (cell *x9Cell) collect(row *ClusterRow, duration sim.Time) {
 // when kill is set — a whole-host failure at half time with cross-host
 // migration.
 func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link cluster.Link, kill bool) (*ClusterRow, error) {
-	cell, err := buildX9Cell(seed, hosts, shards, link, false)
+	cell, err := buildX9Cell(seed, hosts, shards, link, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -423,16 +425,26 @@ func RunClusterCell(seed int64, duration sim.Time, hosts, shards int, link clust
 // interact through bridge links whose latency bounds the lookahead —
 // which RunClusterParallel and the race tests assert.
 func RunClusterCellParallel(seed int64, duration sim.Time, hosts, shards, workers int, link cluster.Link) (*ClusterRow, error) {
-	cell, err := buildX9Cell(seed, hosts, shards, link, true)
+	row, _, err := RunClusterCellParallelTraced(seed, duration, hosts, shards, workers, link, nil)
+	return row, err
+}
+
+// RunClusterCellParallelTraced is RunClusterCellParallel with an optional
+// trace config. When trace is non-nil every per-host engine gets its own
+// recorder shard and the Tracer comes back alongside the row; the merged
+// record stream is bit-identical for any workers value, which the trace
+// determinism test asserts.
+func RunClusterCellParallelTraced(seed int64, duration sim.Time, hosts, shards, workers int, link cluster.Link, trace *obs.Config) (*ClusterRow, *obs.Tracer, error) {
+	cell, err := buildX9Cell(seed, hosts, shards, link, true, trace)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	group, err := cell.coord.EngineGroup()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := cell.commit(group.Settle); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Engines settle at different clocks; the measured window starts at
@@ -451,7 +463,7 @@ func RunClusterCellParallel(seed int64, duration sim.Time, hosts, shards, worker
 		LinkLatencyMS: float64(link.Latency) / float64(sim.Millisecond),
 	}
 	cell.collect(row, duration)
-	return row, nil
+	return row, cell.sys.Tracer, nil
 }
 
 // ClusterParallelResult is RunClusterParallel's outcome: the verified

@@ -6,6 +6,7 @@ import (
 
 	"hydra/internal/channel"
 	"hydra/internal/device"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 	"hydra/internal/testbed"
 )
@@ -117,6 +118,16 @@ func RunSaturation(seed int64, duration sim.Time) (*SaturationResults, error) {
 // batching policy and measures the host-side cost of receiving it
 // (cmd/chan-saturate drives single cells directly).
 func RunSaturationCell(seed int64, duration sim.Time, rateHz, batch int, coalesce sim.Time) (*SaturationRow, error) {
+	row, _, err := RunSaturationCellTraced(seed, duration, rateHz, batch, coalesce, nil)
+	return row, err
+}
+
+// RunSaturationCellTraced is RunSaturationCell with an optional trace
+// config: when trace is non-nil the cell runs with the recorder attached
+// and the Tracer comes back alongside the row so callers can export or
+// reconcile the trace (cmd/chan-saturate -trace, the x7 reconciliation
+// test).
+func RunSaturationCellTraced(seed int64, duration sim.Time, rateHz, batch int, coalesce sim.Time, trace *obs.Config) (*SaturationRow, *obs.Tracer, error) {
 	spec := testbed.Spec{
 		Name: "x7-saturation",
 		Hosts: []testbed.HostSpec{{
@@ -136,14 +147,15 @@ func RunSaturationCell(seed int64, duration sim.Time, rateHz, batch int, coalesc
 				Coalesce:      coalesce,
 			},
 		}},
+		Trace: trace,
 	}
 	sys, err := testbed.New(seed, spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ch, app, oc, err := sys.OpenChannel("nic-stream", "host", "nic0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	eng := sys.Eng
 	host := sys.Host("host").Machine
@@ -176,8 +188,13 @@ func RunSaturationCell(seed int64, duration sim.Time, rateHz, batch int, coalesc
 
 	st := ch.Stats()
 	if uint64(delivered) != st.Sent {
-		return nil, fmt.Errorf("experiments: saturation: delivered %d of %d sent", delivered, st.Sent)
+		return nil, nil, fmt.Errorf("experiments: saturation: delivered %d of %d sent", delivered, st.Sent)
 	}
+
+	// Event volume comes from the engine's diagnostics snapshot — the one
+	// sanctioned read surface — not from poking Engine fields directly.
+	reg := obs.NewRegistry()
+	obs.CaptureEngine(reg, "engine", eng)
 	row := &SaturationRow{
 		Scenario:        fmt.Sprintf("rate %d/s batch %d coalesce %v", rateHz, batch, coalesce),
 		RateHz:          rateHz,
@@ -189,7 +206,7 @@ func RunSaturationCell(seed int64, duration sim.Time, rateHz, batch int, coalesc
 		Batches:         st.Batches,
 		CoalesceFlushes: st.CoalesceFlushes,
 		BusTransactions: sys.Host("host").Bus.Total().Transactions,
-		EventsFired:     eng.Fired,
+		EventsFired:     uint64(reg.Snapshot().MustGet("engine.fired")),
 	}
 	if delivered > 0 {
 		hostCycles := host.BusyTime().Float64Seconds() * host.Config().CPUFreqHz
@@ -197,7 +214,7 @@ func RunSaturationCell(seed int64, duration sim.Time, rateHz, batch int, coalesc
 		row.MeanLatencyMS = (latSum / sim.Time(delivered)).Milliseconds()
 		row.MaxLatencyMS = latMax.Milliseconds()
 	}
-	return row, nil
+	return row, sys.Tracer, nil
 }
 
 // CheckSaturationShape asserts the qualitative X7 outcome: everything sent

@@ -24,7 +24,21 @@ import (
 	"math/rand"
 
 	"hydra/internal/cache"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
+)
+
+// Trace record names (obs.CatHost): one complete span per dispatched
+// run-queue segment (host.seg user/other context, host.kseg kernel,
+// host.irqseg ISRs; arg = cycles including any context switch), plus
+// instants for interrupt injection and the memory ledger.
+const (
+	trSeg    = "host.seg"
+	trKSeg   = "host.kseg"
+	trIRQSeg = "host.irqseg"
+	trIRQ    = "host.irq"
+	trAlloc  = "host.alloc"
+	trFree   = "host.free"
 )
 
 // Config describes the host hardware and scheduler cost model.
@@ -69,6 +83,8 @@ type Machine struct {
 	segFree  []*segment // recycled segments; hot paths run alloc-free once warm
 	irqTask  *Task      // shared identity for all ISR segments (see Interrupt)
 
+	tr *obs.Shard // engine's trace shard when CatHost is enabled, else nil
+
 	busy        sim.Time // accumulated CPU busy time
 	kernelBusy  sim.Time // subset spent in kernel context
 	nextAddr    uint64   // bump allocator for synthetic addresses
@@ -92,6 +108,7 @@ func New(eng *sim.Engine, name string, cfg Config) *Machine {
 		rng:      eng.NewRand(int64(len(name))*131 + int64(name[0])),
 		l2:       cache.New(cfg.Cache),
 		nextAddr: 1 << 20, // leave page zero unused
+		tr:       obs.ForCat(eng, obs.CatHost),
 	}
 	m.irqTask = &Task{m: m, name: "irq"}
 	m.doneFn = func() {
@@ -160,6 +177,9 @@ func (m *Machine) Alloc(size int) uint64 {
 	m.nextAddr += uint64(size)
 	if size > 0 {
 		m.allocBytes += uint64(size)
+		if m.tr.On() {
+			m.tr.Instant(obs.CatHost, trAlloc, int64(size))
+		}
 	}
 	return a
 }
@@ -175,6 +195,9 @@ func (m *Machine) Free(addr uint64, size int) {
 	}
 	_ = addr
 	m.freedBytes += uint64(size)
+	if m.tr.On() {
+		m.tr.Instant(obs.CatHost, trFree, int64(size))
+	}
 }
 
 // AllocBytes reports lifetime bytes handed out by Alloc.
@@ -303,6 +326,9 @@ func (m *Machine) schedNoise() sim.Time {
 func (m *Machine) Interrupt(name string, cycles uint64, k func()) {
 	m.interrupts++
 	_ = name // identifies the source for the caller; ISRs share one identity
+	if m.tr.On() {
+		m.tr.Instant(obs.CatHost, trIRQ, int64(cycles))
+	}
 	s := m.allocSeg()
 	s.task, s.cycles, s.ctx, s.k, s.isIRQ = m.irqTask, cycles, cache.Kernel, k, true
 	m.enqueueFront(s)
@@ -347,6 +373,16 @@ func (m *Machine) dispatch() {
 	m.busy += dur
 	if s.ctx == cache.Kernel {
 		m.kernelBusy += dur
+	}
+	// The segment occupies [now, now+dur]; both ends are known at issue.
+	if m.tr.On() {
+		name := trSeg
+		if s.isIRQ {
+			name = trIRQSeg
+		} else if s.ctx == cache.Kernel {
+			name = trKSeg
+		}
+		m.tr.Complete(obs.CatHost, name, m.eng.Now(), dur, int64(cycles))
 	}
 	m.eng.Schedule(dur, m.doneFn)
 }
@@ -398,6 +434,20 @@ func (q *segQueue) popFront() *segment {
 	q.buf[q.head&(len(q.buf)-1)] = nil
 	q.head++
 	return s
+}
+
+// Publish writes the machine's accounting into the registry under
+// prefix: .busy_ns, .kernel_busy_ns, .utilization, .interrupts,
+// .context_switches, .alloc_bytes, .live_bytes, .runq_depth.
+func (m *Machine) Publish(r *obs.Registry, prefix string) {
+	r.Gauge(prefix + ".busy_ns").Set(float64(m.busy))
+	r.Gauge(prefix + ".kernel_busy_ns").Set(float64(m.kernelBusy))
+	r.Gauge(prefix + ".utilization").Set(m.Utilization())
+	r.Gauge(prefix + ".interrupts").Set(float64(m.interrupts))
+	r.Gauge(prefix + ".context_switches").Set(float64(m.switches))
+	r.Gauge(prefix + ".alloc_bytes").Set(float64(m.allocBytes))
+	r.Gauge(prefix + ".live_bytes").Set(float64(m.LiveBytes()))
+	r.Gauge(prefix + ".runq_depth").Set(float64(m.runq.len()))
 }
 
 // Utilization reports busy/elapsed over the whole run.

@@ -96,6 +96,19 @@ func (e Event) Cancel() {
 // Canceled reports whether Cancel took effect on this scheduling.
 func (e Event) Canceled() bool { return e.live() && e.s.state == stateCanceled }
 
+// EngineProbe observes the engine's two hot-path transitions. A probe is
+// called synchronously on the engine's own goroutine, so implementations
+// must not block and must not touch the engine re-entrantly. The engine
+// guards every call with a nil check; with no probe attached the hot path
+// pays one predictable branch and nothing else.
+type EngineProbe interface {
+	// EventScheduled fires when At admits an event for virtual time at.
+	EventScheduled(at Time)
+	// EventFired fires after the clock advances to at, before the
+	// event's callback runs.
+	EventFired(at Time)
+}
+
 // Engine owns the virtual clock and the pending event set.
 // It is not safe for concurrent use; models run single-threaded by design so
 // that execution order is deterministic. (A Group coordinates several
@@ -108,6 +121,10 @@ type Engine struct {
 	rng     *rand.Rand
 	seed    int64
 	stopped bool
+	minted  uint64
+
+	probe EngineProbe
+	obsv  any
 
 	// Fired counts events executed so far; useful for run diagnostics.
 	Fired uint64
@@ -135,11 +152,61 @@ func (e *Engine) NewRand(salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(e.seed ^ (salt * mix)))
 }
 
+// SetProbe attaches (or, with nil, detaches) a hot-path observer.
+func (e *Engine) SetProbe(p EngineProbe) { e.probe = p }
+
+// SetObs attaches an opaque observability handle to the engine so
+// components built over it can find their trace shard without the sim
+// package importing the obs package (see obs.FromEngine).
+func (e *Engine) SetObs(v any) { e.obsv = v }
+
+// Obs returns the handle set by SetObs, or nil.
+func (e *Engine) Obs() any { return e.obsv }
+
+// Diag is a point-in-time snapshot of engine run diagnostics: progress
+// counters, queue regime, and event-pool occupancy. It is plain data —
+// capture it into an obs.Registry rather than poking Engine fields.
+type Diag struct {
+	// Now is the virtual clock; Fired and Scheduled count events
+	// executed and admitted so far.
+	Now       Time
+	Fired     uint64
+	Scheduled uint64
+	// Pending is the live pending-set size. LadderOn reports whether the
+	// queue is in ladder (bucketed) mode, Rungs how deep the rung stack
+	// is, and LadderConverts how many plain-heap→ladder transitions the
+	// run has made.
+	Pending        int
+	LadderOn       bool
+	Rungs          int
+	LadderConverts uint64
+	// SlotsMinted counts event slots ever allocated; SlotsFree is the
+	// current free-list depth. Minted minus free is pool occupancy.
+	SlotsMinted uint64
+	SlotsFree   int
+}
+
+// Diag snapshots the engine's run diagnostics.
+func (e *Engine) Diag() Diag {
+	return Diag{
+		Now:            e.now,
+		Fired:          e.Fired,
+		Scheduled:      e.seq,
+		Pending:        e.q.len(),
+		LadderOn:       e.q.ladderOn,
+		Rungs:          len(e.q.rungs),
+		LadderConverts: e.q.converts,
+		SlotsMinted:    e.minted,
+		SlotsFree:      len(e.free),
+	}
+}
+
 // alloc takes a slot off the free list (or mints one), bumping its
 // generation so handles to the previous occupant go stale.
 func (e *Engine) alloc() *slot {
 	n := len(e.free)
 	if n == 0 {
+		e.minted++
 		s := &slot{own: e}
 		s.gen = 1
 		return s
@@ -184,6 +251,9 @@ func (e *Engine) At(t Time, fn func()) Event {
 	s := e.alloc()
 	s.at, s.seq, s.fn, s.state = t, e.seq, fn, statePending
 	e.q.push(s)
+	if e.probe != nil {
+		e.probe.EventScheduled(t)
+	}
 	return Event{s: s, gen: s.gen, at: t}
 }
 
@@ -205,6 +275,9 @@ func (e *Engine) Step() bool {
 	// it just vacated — the common chain pattern then ping-pongs between
 	// two slots with zero allocation.
 	e.release(s)
+	if e.probe != nil {
+		e.probe.EventFired(e.now)
+	}
 	fn()
 	return true
 }

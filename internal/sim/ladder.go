@@ -115,6 +115,7 @@ type ladder struct {
 	size     int     // live events across all tiers
 	freeRung []*rung // recycled rungs, to avoid re-allocating bucket arrays
 	ladderOn bool    // false: plain-heap mode (rungs/overflow unused)
+	converts uint64  // plain→ladder regime transitions (run diagnostics)
 }
 
 func (q *ladder) len() int { return q.size }
@@ -161,6 +162,7 @@ func (q *ladder) convert() {
 	}
 	q.boundary = q.overflow[0].at
 	q.ladderOn = true
+	q.converts++
 }
 
 // remove detaches a slot from whichever tier holds it (Cancel path).

@@ -12,6 +12,7 @@ import (
 	"hydra/internal/hostos"
 	"hydra/internal/netsim"
 	"hydra/internal/nfs"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 )
 
@@ -24,6 +25,8 @@ type System struct {
 	Net *netsim.Network
 	// Injector replays the Spec's fault schedule (nil when none declared).
 	Injector *faults.Injector
+	// Tracer is the observability recorder (nil unless Spec.Trace was set).
+	Tracer *obs.Tracer
 
 	hosts    map[string]*HostSystem
 	hostList []*HostSystem
@@ -122,6 +125,17 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 		sys.channels[cs.Name] = cfg
 	}
 
+	if spec.Trace != nil {
+		// Attach before any component construction so every machine, bus,
+		// channel and runtime finds its shard on its engine.
+		sys.Tracer = obs.NewTracer(*spec.Trace)
+		sysLabel := spec.Name
+		if sysLabel == "" {
+			sysLabel = "system"
+		}
+		sys.Tracer.Attach(eng, sysLabel)
+	}
+
 	needsNet := len(spec.Stations) > 0 || len(spec.NAS) > 0
 	for _, h := range spec.Hosts {
 		needsNet = needsNet || len(h.Stations) > 0
@@ -191,6 +205,9 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 			// fixed build seed, distinct per host.
 			const mix = int64(-0x61c8864680b583eb)
 			heng = sim.NewEngine(eng.Seed() ^ (int64(len(sys.hostList)+1) * mix))
+			if sys.Tracer != nil {
+				sys.Tracer.Attach(heng, h.Name)
+			}
 		}
 		hs := &HostSystem{Spec: h, Eng: heng}
 		hs.Machine = hostos.New(heng, h.Name, cpu)

@@ -42,6 +42,7 @@ import (
 	"hydra/internal/hostos"
 	"hydra/internal/netsim"
 	"hydra/internal/nfs"
+	"hydra/internal/obs"
 )
 
 // Spec is a complete testbed topology. The zero value is an empty world;
@@ -84,6 +85,14 @@ type Spec struct {
 	// Stations, NAS and Faults all require a single engine and are
 	// rejected by Build when this is set.
 	EnginePerHost bool
+	// Trace, when set, attaches an obs.Tracer to the built system: one
+	// shard on the system engine plus one per private host engine under
+	// EnginePerHost, attached in declaration order so shard indices —
+	// and therefore merged traces — are deterministic. Components built
+	// afterwards (machines, buses, channels, runtimes) pick their shard
+	// up from their engine automatically. Read the trace via
+	// System.Tracer.
+	Trace *obs.Config
 }
 
 // ChannelSpec names one channel configuration profile on a Spec.

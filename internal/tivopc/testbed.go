@@ -28,6 +28,7 @@ import (
 	"hydra/internal/mpeg"
 	"hydra/internal/netsim"
 	"hydra/internal/nfs"
+	"hydra/internal/obs"
 	"hydra/internal/sim"
 	"hydra/internal/testbed"
 )
@@ -98,6 +99,9 @@ var frameEstimate = 512
 type Testbed struct {
 	Eng *sim.Engine
 	Net *netsim.Network
+	// Tracer is the obs recorder attached by NewTestbedTraced (nil
+	// otherwise).
+	Tracer *obs.Tracer
 
 	NASStore  *nfs.Store
 	NASServer *nfs.Server
@@ -188,7 +192,16 @@ func SystemSpec(runFor sim.Time) testbed.Spec {
 // NewTestbed builds the full §6.4 environment with the movie loaded on the
 // NAS sized for runFor of streaming.
 func NewTestbed(seed int64, runFor sim.Time) *Testbed {
-	sys, err := testbed.New(seed, SystemSpec(runFor))
+	return NewTestbedTraced(seed, runFor, nil)
+}
+
+// NewTestbedTraced is NewTestbed with an optional obs trace config; when
+// non-nil the recorder is attached before any component is built and the
+// Tracer field is populated (cmd/tivopc -trace).
+func NewTestbedTraced(seed int64, runFor sim.Time, trace *obs.Config) *Testbed {
+	spec := SystemSpec(runFor)
+	spec.Trace = trace
+	sys, err := testbed.New(seed, spec)
 	if err != nil {
 		panic("tivopc: " + err.Error()) // static spec; cannot fail
 	}
@@ -204,6 +217,7 @@ func fromSystem(sys *testbed.System) *Testbed {
 	return &Testbed{
 		Eng:               sys.Eng,
 		Net:               sys.Net,
+		Tracer:            sys.Tracer,
 		NASStore:          nas.Store,
 		NASServer:         nas.Server,
 		Server:            server.Machine,

@@ -12,16 +12,18 @@
 //
 // The -scenario flag runs selected experiments by name, comma-separated
 // (e.g. -scenario x6-failover or -scenario engine,x7-saturation,x9; the
-// aliases x8/x9 expand to x8-contention/x9-cluster), which makes
-// iterating on one table cheap. CI archives `-json -scenario
+// aliases x8/x9/x10 expand to x8-contention/x9-cluster/x10-autoscale),
+// which makes iterating on one table cheap. CI archives `-json -scenario
 // x7-saturation` output as the per-commit channel hot-path baseline
 // (cycles/message, latency, interrupts, event volume), `-json -scenario
 // x8-contention` as the multi-app contention baseline (admissions, quota
-// denials, per-app throughput, teardown reclamation), and `-json -scenario
+// denials, per-app throughput, teardown reclamation), `-json -scenario
 // x9-cluster` as the cluster sharding baseline (per-cell throughput,
-// cross-host bridge counts, migration time). The x9 scenario runs its grid
-// twice — serial, then the Sweep pool — and fails unless the rows are
-// bit-identical.
+// cross-host bridge counts, migration time), and `-json -scenario
+// x10-autoscale` as the live-mutation baseline (capacity saved, hot-swap
+// window, replayed client messages). The x9 scenario runs its grid twice
+// — serial, then the Sweep pool — and fails unless the rows are
+// bit-identical; x10 does the same for its elastic cell's window bodies.
 //
 // Two scenarios gate the simulator core itself: `engine` runs the
 // chain/wide/churn microbenchmarks (events/sec and allocs/event for the
@@ -31,8 +33,10 @@
 // the rows match bit for bit. The -baseline flag compares the current
 // run against an archived BENCH_*.json and fails on a regression:
 // *_events_per_sec and *_msgs_per_sec must stay above 0.8× the
-// baseline, *_cycles_per_msg below 1.25×. CI runs `-scenario
-// engine,x7-saturation,x9-cluster -baseline BENCH_0007.json` per commit.
+// baseline, *_cycles_per_msg below 1.25×, and *_swap_window_ms below
+// 1.5× (the hot-swap quiesce window must not quietly lengthen). CI runs
+// `-scenario engine,x7-saturation,x9-cluster,x10-autoscale -baseline
+// BENCH_0008.json` per commit.
 //
 // The -trace flag additionally runs one traced x7 saturation cell and
 // writes its merged recorder stream as Chrome trace-event JSON
@@ -99,6 +103,8 @@ func main() {
 			name = "x8-contention"
 		case "x9": // short alias for the cluster sharding grid
 			name = "x9-cluster"
+		case "x10": // short alias for the autoscaling ramp
+			name = "x10-autoscale"
 		}
 		selected[name] = true
 	}
@@ -319,6 +325,40 @@ func main() {
 		return m, parallel.Render() + "  (serial ≡ sweep verified bit-identical)\n", nil
 	})
 
+	timed("x10-autoscale", func() (map[string]float64, string, error) {
+		// The load-ramp comparison: static provisioning at the peak count
+		// vs the autoscaler growing and shrinking the shard set through
+		// incremental re-solves, with a live Offcode hot-swap at the peak.
+		// RunAutoscale itself runs the elastic cell twice — window bodies
+		// on one worker, then many — and fails unless the rows are
+		// bit-identical.
+		res, err := experiments.RunAutoscale(*seed, *workers)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := experiments.CheckAutoscaleShape(res); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, p := range []struct {
+			key string
+			row *experiments.X10Row
+		}{{"static", &res.Static}, {"auto", &res.Auto}} {
+			m[p.key+"_offered"] = float64(p.row.Offered)
+			m[p.key+"_delivered"] = float64(p.row.Delivered)
+			m[p.key+"_lost"] = float64(p.row.Lost)
+			m[p.key+"_shard_epochs"] = float64(p.row.ShardEpochs)
+		}
+		m["auto_peak_shards"] = float64(res.Auto.PeakShards)
+		m["auto_final_shards"] = float64(res.Auto.FinalShards)
+		m["auto_scale_ups"] = float64(res.Auto.ScaleUps)
+		m["auto_scale_downs"] = float64(res.Auto.ScaleDowns)
+		m["saved_frac"] = res.SavedFrac
+		m["swap_window_ms"] = res.Auto.SwapWindowMS
+		m["swap_replayed"] = float64(res.Auto.SwapReplayed)
+		return m, res.Render(), nil
+	})
+
 	timed("engine", func() (map[string]float64, string, error) {
 		eb, err := experiments.RunEngineBench(*seed, experiments.EngineBenchEvents)
 		if err != nil {
@@ -408,6 +448,7 @@ func main() {
 const (
 	throughputBand = 0.8
 	cyclesBand     = 1.25
+	swapBand       = 1.5
 )
 
 // baselineClass maps a metric-key suffix to its regression test: floor
@@ -422,6 +463,10 @@ var baselineClasses = []baselineClass{
 	{suffix: "_events_per_sec", band: throughputBand},
 	{suffix: "_msgs_per_sec", band: throughputBand},
 	{suffix: "_cycles_per_msg", band: cyclesBand, ceiling: true},
+	// The hot-swap quiesce→replay window is virtual-clock deterministic
+	// for a seed; the band leaves room for intentional cost-model shifts
+	// while still catching a mutation path that stops overlapping work.
+	{suffix: "_swap_window_ms", band: swapBand, ceiling: true},
 }
 
 // compareBaseline checks every classed metric (throughput floors,

@@ -29,8 +29,13 @@
 //
 // Sessions opened with OpenApp carry memory/channel/Offcode quotas and an
 // admission-controlled device-memory reservation; Commit rolls back every
-// Offcode and pinned ring on partial failure. The callback
-// Runtime.Deploy remains as a deprecated shim over the default session.
+// Offcode and pinned ring on partial failure.
+//
+// A committed deployment stays mutable: App.Mutate applies deploy/
+// replace/remove deltas against the live session, and App.Replace
+// hot-swaps one running Offcode — channel traffic is quiesced, held and
+// replayed exactly once around the swap, with the old instance's
+// checkpoint carried into the new one and atomic rollback on failure.
 //
 // Above the single host, hydra.NewCluster opens a coordinator over every
 // runtime host of a multi-host testbed: a ClusterPlan shards an Offcode
@@ -38,7 +43,10 @@
 // cluster-wide rollback), cross-host edges materialize as Bridge
 // proxy-channel pairs over simulated inter-host links, and
 // Cluster.FailHost migrates a dead machine's checkpointed Offcodes onto
-// the surviving hosts.
+// the surviving hosts. Cluster.Mutate re-solves the shard assignment
+// incrementally (only affected shards move; untouched hosts never
+// redeploy), and hydra.NewAutoscaler drives Grow/Shrink on a shard set
+// from observed per-epoch load.
 //
 // Scenario fleets run through hydra.Sweep: one engine per replica on a
 // worker pool, bit-identical to a serial loop.
@@ -48,6 +56,7 @@
 package hydra
 
 import (
+	"hydra/internal/autoscale"
 	"hydra/internal/bus"
 	"hydra/internal/channel"
 	"hydra/internal/cluster"
@@ -110,6 +119,18 @@ type (
 	Deployment = core.Deployment
 	// RootOption tunes DeployPlan.AddRoot (e.g. hydra.NoReuse).
 	RootOption = core.RootOption
+	// MutationDelta is one live-mutation step for App.Mutate (one of
+	// DeployDelta, ReplaceDelta, RemoveDelta).
+	MutationDelta = core.Delta
+	// DeployDelta deploys a new root into a live session.
+	DeployDelta = core.DeployDelta
+	// ReplaceDelta hot-swaps a running Offcode: quiesce, checkpoint,
+	// swap, replay — with atomic rollback on failure.
+	ReplaceDelta = core.ReplaceDelta
+	// RemoveDelta stops and removes a running Offcode.
+	RemoveDelta = core.RemoveDelta
+	// MutationResult is the typed result of App.Mutate / App.Replace.
+	MutationResult = core.MutationResult
 	// ResourceNode is a node of the hierarchical resource manager; App
 	// quota usage is read off App.Resources().
 	ResourceNode = resource.Node
@@ -170,6 +191,12 @@ type (
 	NASSpec = testbed.NASSpec
 	// FileSpec is one file pre-loaded onto a NAS.
 	FileSpec = testbed.FileSpec
+	// MutationSpec schedules one declarative live Offcode hot-swap on a
+	// TestbedSpec (Spec.Mutations), armed on the host's own engine.
+	MutationSpec = testbed.MutationSpec
+	// MutationOutcome records one armed mutation's result after it fires
+	// (TestbedSystem.MutationOutcomes).
+	MutationOutcome = testbed.MutationOutcome
 	// TestbedSystem is a built TestbedSpec, addressable by declared names.
 	TestbedSystem = testbed.System
 	// HostSystem is one built host inside a TestbedSystem.
@@ -214,6 +241,36 @@ type (
 	// ClusterMigration records one host failure the coordinator healed
 	// from (Coordinator.FailHost / Migrations).
 	ClusterMigration = cluster.Migration
+	// ClusterShardDelta is one live-mutation step for Cluster.Mutate
+	// (one of AddShard, RemoveShard, SwapShard).
+	ClusterShardDelta = cluster.ShardDelta
+	// AddShard grows a live cluster deployment by one shard.
+	AddShard = cluster.AddShard
+	// RemoveShard stops and removes one shard (its bridges tear down).
+	RemoveShard = cluster.RemoveShard
+	// SwapShard hot-swaps one shard's Offcode in place on its host.
+	SwapShard = cluster.SwapShard
+	// ShardEdge declares a new shard's connections for AddShard.
+	ShardEdge = cluster.ShardEdge
+	// ClusterMutation is the typed result of Cluster.Mutate: moved and
+	// untouched hosts, swaps with their quiesce windows, rollback state.
+	ClusterMutation = cluster.ClusterMutation
+)
+
+// Autoscaling: a mechanism-free epoch controller growing and shrinking a
+// shard set against observed load (internal/autoscale; X10).
+type (
+	// Autoscaler evaluates per-epoch load and drives its AutoscaleTarget.
+	Autoscaler = autoscale.Controller
+	// AutoscaleConfig sets per-shard capacity, the utilization hysteresis
+	// band, shard-count bounds and the action cooldown.
+	AutoscaleConfig = autoscale.Config
+	// AutoscaleTarget is the shard set an Autoscaler grows and shrinks —
+	// typically implemented with Cluster.Mutate.
+	AutoscaleTarget = autoscale.Target
+	// AutoscaleDecision records one controller epoch: rate, utilization,
+	// shard count and the action taken.
+	AutoscaleDecision = autoscale.Decision
 )
 
 // Fault injection and self-healing: declarative fault schedules replayed by
@@ -305,6 +362,9 @@ var (
 	// NewCluster opens a cluster coordinator over every runtime host of a
 	// built testbed.
 	NewCluster = cluster.New
+	// NewAutoscaler creates an epoch-driven autoscale controller over a
+	// target shard set.
+	NewAutoscaler = autoscale.New
 	// DefaultClusterLink is the default inter-host link model (~20 µs,
 	// 1 Gb/s — the paper testbed's switched gigabit fabric).
 	DefaultClusterLink = cluster.DefaultLink

@@ -40,7 +40,8 @@ import (
 // Trace record names (obs.CatChannel). Counts reconcile with Stats:
 // chan.send == Sent, chan.delivered == Delivered, chan.irq == Interrupts,
 // chan.drop == Dropped, chan.queued == Queued, chan.batch + chan.coalesce
-// == Batches, chan.coalesce == CoalesceFlushes.
+// == Batches, chan.coalesce == CoalesceFlushes, chan.replay == Replayed
+// (messages in chan.hold groups either replay or surface as Undelivered).
 const (
 	trSend      = "chan.send"
 	trDelivered = "chan.delivered"
@@ -53,6 +54,8 @@ const (
 	trDMA       = "chan.dma"
 	trDMAGather = "chan.dma.gather"
 	trDeliver   = "chan.deliver"
+	trHold      = "chan.hold"
+	trReplay    = "chan.replay"
 )
 
 // SyncMode selects handler dispatch semantics (§3.2 "synchronization
@@ -149,9 +152,15 @@ type Stats struct {
 	SGWrites    uint64
 	SGFragments uint64
 	// Undelivered counts reliable sends accepted by Write but discarded by
-	// Close before delivery: descriptor-starved queued sends plus batched
-	// messages still waiting for a flush.
+	// Close before delivery: descriptor-starved queued sends, batched
+	// messages still waiting for a flush, and messages held at a paused
+	// endpoint that was closed before Resume replayed them.
 	Undelivered uint64
+	// Replayed counts messages that arrived while their destination
+	// endpoint was paused (a live-mutation quiesce window), were held, and
+	// were re-delivered by Resume. Each such message counts in Delivered
+	// exactly once, at replay time.
+	Replayed uint64
 }
 
 // Publish writes every Stats field into the registry as a gauge named
@@ -200,6 +209,7 @@ func (s *Stats) Add(other Stats) {
 	s.SGWrites += other.SGWrites
 	s.SGFragments += other.SGFragments
 	s.Undelivered += other.Undelivered
+	s.Replayed += other.Replayed
 }
 
 // Handler consumes a delivered payload. The payload slice is borrowed:
@@ -247,6 +257,28 @@ type Endpoint struct {
 	// coalescing timer armed when the first of them arrived.
 	batchMsgs  []*message
 	batchTimer sim.Event
+
+	// Quiesce state: while paused, groups arriving at this endpoint are
+	// held — payload copied into a kernel hold buffer, descriptor credits
+	// released so senders keep flowing — and Resume replays them in
+	// arrival order through the normal delivery path. inflight counts
+	// dispatches between deliver entry and completion; Drain callbacks
+	// fire once it reaches zero with nothing queued.
+	paused    bool
+	held      []heldGroup
+	heldBytes int
+	inflight  int
+	drainFns  []func()
+}
+
+// heldGroup is one delivery group parked at a paused endpoint: the copied
+// payloads, their trace ids, and the host hold-buffer backing them (0 for
+// device/loopback endpoints, which hold in device memory already counted).
+type heldGroup struct {
+	data [][]byte
+	ids  []uint64
+	buf  uint64
+	size int
 }
 
 // Name identifies the endpoint for diagnostics.
@@ -453,9 +485,29 @@ func (c *Channel) Close() {
 		e.batchMsgs = nil
 		e.batchTimer.Cancel()
 		e.batchTimer = sim.Event{}
+		// Messages held at a paused endpoint die with the channel: they
+		// were never handed to a handler, so they are undelivered.
+		for _, g := range e.held {
+			c.stats.Undelivered += uint64(len(g.data))
+			if g.buf != 0 {
+				e.host.Free(g.buf, g.size)
+			}
+		}
+		e.held = nil
+		e.heldBytes = 0
+		e.paused = false
 		e.freeRing()
+		// Waiters must not hang on a channel that will never drain.
+		fns := e.drainFns
+		e.drainFns = nil
+		for _, fn := range fns {
+			fn()
+		}
 	}
 }
+
+// Closed reports whether the channel has been torn down.
+func (c *Channel) Closed() bool { return c.closed }
 
 func (e *Endpoint) freeRing() {
 	if e.host != nil && e.ringBuf != 0 {
@@ -766,13 +818,20 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 	n := len(msgs)
 	discarded := false
 	handed := false
+	heldOff := false
+	dst.inflight++
 	finish := func() {
-		if discarded {
+		dst.inflight--
+		dst.checkDrained()
+		switch {
+		case discarded:
 			// The destination closed while the group was on the wire: the
 			// messages were never handed to a handler or inbox, so they are
 			// undelivered, not delivered.
 			c.stats.Undelivered += uint64(n)
-		} else {
+		case heldOff:
+			// Parked at a paused endpoint; Delivered counts at replay.
+		default:
 			c.stats.Delivered += uint64(n)
 		}
 		// Handlers have returned (or the inbox owns the payloads): the
@@ -788,6 +847,12 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 	run := func(complete func()) {
 		if dst.closed {
 			discarded = true
+			complete()
+			return
+		}
+		if dst.paused {
+			heldOff = true
+			c.holdGroup(dst, msgs)
 			complete()
 			return
 		}
@@ -862,13 +927,43 @@ func (c *Channel) deliver(dst *Endpoint, msgs []*message, done func()) {
 }
 
 func (e *Endpoint) pumpSequential(c *Channel) {
-	if e.dispatchB || len(e.seqFns) == 0 {
+	if e.dispatchB {
+		return
+	}
+	if len(e.seqFns) == 0 {
+		e.checkDrained()
 		return
 	}
 	e.dispatchB = true
 	fn := e.seqFns[0]
 	e.seqFns = e.seqFns[1:]
 	fn()
+}
+
+// Drain invokes fn once every dispatch already accepted toward this
+// endpoint has completed — the in-flight handler invocations a hot-swap
+// must let finish before checkpointing, since their effects belong to the
+// pre-swap instance. Combined with Pause (which holds new arrivals), a
+// drained endpoint is fully quiesced. fn runs immediately when nothing is
+// in flight.
+func (e *Endpoint) Drain(fn func()) {
+	if e.inflight == 0 && !e.dispatchB && len(e.seqFns) == 0 {
+		fn()
+		return
+	}
+	e.drainFns = append(e.drainFns, fn)
+}
+
+// checkDrained fires pending Drain callbacks once the endpoint is idle.
+func (e *Endpoint) checkDrained() {
+	if e.inflight > 0 || e.dispatchB || len(e.seqFns) > 0 || len(e.drainFns) == 0 {
+		return
+	}
+	fns := e.drainFns
+	e.drainFns = nil
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 func (c *Channel) releaseCredit(dir int) {
@@ -881,5 +976,103 @@ func (c *Channel) releaseCredit(dir int) {
 	c.credits[dir]++
 	if c.credits[dir] > c.cfg.RingEntries {
 		c.credits[dir] = c.cfg.RingEntries
+	}
+}
+
+// Pause quiesces delivery to this endpoint for a live-mutation window:
+// groups that arrive while paused are held (payloads copied, descriptor
+// credits released so senders never stall) instead of dispatched, and the
+// far side's coalescing accumulators are flushed so every already-accepted
+// message is on the wire rather than parked in a partial batch across the
+// mutation. Resume replays the held messages in arrival order.
+func (e *Endpoint) Pause() {
+	c := e.ch
+	if c == nil || c.closed || e.closed || e.paused {
+		return
+	}
+	e.paused = true
+	// Drain the senders feeding this endpoint: peers write toward the
+	// creator on dir 1, the creator writes toward its peers on dir 0.
+	if e == c.creator {
+		for _, p := range c.peers {
+			c.flushBatch(p, 1, false)
+		}
+	} else {
+		c.flushBatch(c.creator, 0, false)
+	}
+}
+
+// Paused reports whether the endpoint is quiesced.
+func (e *Endpoint) Paused() bool { return e.paused }
+
+// HeldMessages reports how many messages are parked awaiting Resume.
+func (e *Endpoint) HeldMessages() int {
+	n := 0
+	for _, g := range e.held {
+		n += len(g.data)
+	}
+	return n
+}
+
+// Resume ends a quiesce window: held groups are re-injected through the
+// normal delivery path in arrival order — interrupts, handler dispatch,
+// sequential ordering and Delivered counts all happen now, before any
+// post-resume arrival — and their kernel hold buffers are released. It
+// returns how many messages were replayed.
+func (e *Endpoint) Resume() int {
+	c := e.ch
+	if c == nil || !e.paused {
+		return 0
+	}
+	e.paused = false
+	groups := e.held
+	e.held = nil
+	e.heldBytes = 0
+	replayed := 0
+	for _, g := range groups {
+		if g.buf != 0 {
+			e.host.Free(g.buf, g.size)
+		}
+		if c.closed || e.closed {
+			c.stats.Undelivered += uint64(len(g.data))
+			continue
+		}
+		batch := c.getBatch()
+		for i, d := range g.data {
+			m := c.getMsg()
+			m.data = append(m.data, d...)
+			m.id = g.ids[i]
+			batch = append(batch, m)
+		}
+		replayed += len(batch)
+		c.stats.Replayed += uint64(len(batch))
+		if c.tr.On() {
+			c.tr.Instant(obs.CatChannel, trReplay, int64(len(batch)))
+		}
+		// Credits were released when the group was first held, so the
+		// replayed delivery completes without touching the rings.
+		c.deliver(e, batch, func() {})
+	}
+	return replayed
+}
+
+// holdGroup parks one delivered group at a paused endpoint: payloads are
+// copied out of the pooled envelopes into a kernel hold buffer charged
+// against the host's memory accounting (device-side endpoints hold in
+// device memory already counted by the ring model).
+func (c *Channel) holdGroup(dst *Endpoint, msgs []*message) {
+	g := heldGroup{}
+	for _, m := range msgs {
+		g.data = append(g.data, append([]byte(nil), m.data...))
+		g.ids = append(g.ids, m.id)
+		g.size += len(m.data)
+	}
+	if dst.host != nil && g.size > 0 {
+		g.buf = dst.host.Alloc(g.size)
+	}
+	dst.held = append(dst.held, g)
+	dst.heldBytes += g.size
+	if c.tr.On() {
+		c.tr.Instant(obs.CatChannel, trHold, int64(len(msgs)))
 	}
 }

@@ -714,3 +714,247 @@ func TestReliableDeliveryProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- live-mutation quiesce window: Pause / Drain / Resume ---
+
+// byteLog records delivered payload first-bytes and how often each value
+// arrived, so replay tests can assert exactly-once in-order delivery.
+type byteLog struct {
+	order []byte
+	seen  map[byte]int
+}
+
+func newByteLog() *byteLog { return &byteLog{seen: map[byte]int{}} }
+
+func (l *byteLog) handler(data []byte) {
+	l.order = append(l.order, data[0])
+	l.seen[data[0]]++
+}
+
+func (l *byteLog) checkExactlyOnce(t *testing.T, n int) {
+	t.Helper()
+	if len(l.order) != n {
+		t.Fatalf("delivered %d messages, want %d: %v", len(l.order), n, l.order)
+	}
+	for i, v := range l.order {
+		if v != byte(i) {
+			t.Fatalf("order broken at %d: %v", i, l.order)
+		}
+	}
+	for v, c := range l.seen {
+		if c != 1 {
+			t.Fatalf("message %d delivered %d times", v, c)
+		}
+	}
+}
+
+func TestPauseHoldsResumeReplaysInOrder(t *testing.T) {
+	r := newRig()
+	ch, app, oc := r.hostToDev(t, DefaultConfig())
+	log := newByteLog()
+	oc.InstallCallHandler(log.handler)
+
+	for i := 0; i < 3; i++ {
+		if err := app.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.RunAll()
+	if len(log.order) != 3 {
+		t.Fatalf("pre-pause delivered %d", len(log.order))
+	}
+
+	oc.Pause()
+	if !oc.Paused() {
+		t.Fatal("Paused() false after Pause")
+	}
+	for i := 3; i < 6; i++ {
+		if err := app.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.RunAll()
+	if len(log.order) != 3 {
+		t.Fatalf("paused endpoint dispatched: %v", log.order)
+	}
+	if oc.HeldMessages() != 3 {
+		t.Fatalf("held %d, want 3", oc.HeldMessages())
+	}
+	if got := ch.Stats().Delivered; got != 3 {
+		t.Fatalf("Delivered = %d while held, want 3", got)
+	}
+
+	if n := oc.Resume(); n != 3 {
+		t.Fatalf("Resume replayed %d, want 3", n)
+	}
+	r.eng.RunAll()
+	log.checkExactlyOnce(t, 6)
+	st := ch.Stats()
+	if st.Replayed != 3 || st.Delivered != 6 || st.Undelivered != 0 {
+		t.Fatalf("stats after replay: %+v", st)
+	}
+	if oc.HeldMessages() != 0 {
+		t.Fatalf("held %d after Resume", oc.HeldMessages())
+	}
+}
+
+func TestPauseBatchedReplayExactlyOnce(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Batch = 4
+	ch, app, oc := r.hostToDev(t, cfg)
+	log := newByteLog()
+	oc.InstallCallHandler(log.handler)
+
+	for i := 0; i < 4; i++ {
+		app.Write([]byte{byte(i)})
+	}
+	r.eng.RunAll()
+	oc.Pause()
+	for i := 4; i < 12; i++ {
+		app.Write([]byte{byte(i)})
+	}
+	r.eng.RunAll()
+	if len(log.order) != 4 {
+		t.Fatalf("paused endpoint dispatched: %v", log.order)
+	}
+	if oc.HeldMessages() != 8 {
+		t.Fatalf("held %d, want 8", oc.HeldMessages())
+	}
+
+	if n := oc.Resume(); n != 8 {
+		t.Fatalf("Resume replayed %d, want 8", n)
+	}
+	r.eng.RunAll()
+	log.checkExactlyOnce(t, 12)
+	st := ch.Stats()
+	if st.Replayed != 8 || st.Delivered != 12 {
+		t.Fatalf("stats after batched replay: %+v", st)
+	}
+	if st.Batches < 3 {
+		t.Fatalf("Batches = %d, want the three full flushes", st.Batches)
+	}
+}
+
+// TestPauseFlushesPartialBatch pins the window-entry contract: Pause
+// flushes the far side's coalescing accumulator, so messages already
+// accepted by Write land in the hold buffer instead of sitting in a
+// partial batch across the mutation.
+func TestPauseFlushesPartialBatch(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Batch = 8
+	cfg.Coalesce = 10 * sim.Millisecond // far beyond the test horizon
+	ch, app, oc := r.hostToDev(t, cfg)
+	log := newByteLog()
+	oc.InstallCallHandler(log.handler)
+
+	for i := 0; i < 3; i++ {
+		app.Write([]byte{byte(i)})
+	}
+	// The partial batch is parked at the sender awaiting five more
+	// messages or a 10ms coalesce timeout; Pause must not wait for either.
+	oc.Pause()
+	r.eng.RunAll()
+	if oc.HeldMessages() != 3 {
+		t.Fatalf("held %d after pause-flush, want 3", oc.HeldMessages())
+	}
+
+	if n := oc.Resume(); n != 3 {
+		t.Fatalf("Resume replayed %d, want 3", n)
+	}
+	r.eng.RunAll()
+	log.checkExactlyOnce(t, 3)
+	if st := ch.Stats(); st.Replayed != 3 || st.Undelivered != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestPauseCoalescedArrivalsHeld covers the other interleaving: the
+// endpoint pauses first, then a partial batch is flushed into it by the
+// coalesce timer. The group must be held and replayed, and the flush
+// still counts as a coalesce flush.
+func TestPauseCoalescedArrivalsHeld(t *testing.T) {
+	r := newRig()
+	cfg := DefaultConfig()
+	cfg.Batch = 8
+	cfg.Coalesce = 100 * sim.Microsecond
+	ch, app, oc := r.hostToDev(t, cfg)
+	log := newByteLog()
+	oc.InstallCallHandler(log.handler)
+
+	oc.Pause()
+	for i := 0; i < 3; i++ {
+		app.Write([]byte{byte(i)})
+	}
+	r.eng.RunAll()
+	if oc.HeldMessages() != 3 {
+		t.Fatalf("held %d, want 3", oc.HeldMessages())
+	}
+	if st := ch.Stats(); st.CoalesceFlushes != 1 {
+		t.Fatalf("CoalesceFlushes = %d, want 1", st.CoalesceFlushes)
+	}
+
+	if n := oc.Resume(); n != 3 {
+		t.Fatalf("Resume replayed %d, want 3", n)
+	}
+	r.eng.RunAll()
+	log.checkExactlyOnce(t, 3)
+}
+
+// TestDrainWaitsForInflightDispatch checks the checkpoint barrier: a
+// Drain registered while a handler is running must not fire until that
+// dispatch completes, and an idle endpoint drains immediately.
+func TestDrainWaitsForInflightDispatch(t *testing.T) {
+	r := newRig()
+	_, app, oc := r.hostToDev(t, DefaultConfig())
+
+	idle := false
+	oc.Drain(func() { idle = true })
+	if !idle {
+		t.Fatal("idle endpoint did not drain immediately")
+	}
+
+	var drained, inHandler bool
+	oc.InstallCallHandler(func(data []byte) {
+		inHandler = true
+		oc.Drain(func() {
+			if inHandler {
+				t.Error("drain fired while the dispatch was still running")
+			}
+			drained = true
+		})
+		inHandler = false
+	})
+	if err := app.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunAll()
+	if !drained {
+		t.Fatal("drain callback never fired")
+	}
+}
+
+// TestCloseWhilePausedSurfacesUndelivered: messages parked in a quiesce
+// window that never ends die with the channel and are accounted for.
+func TestCloseWhilePausedSurfacesUndelivered(t *testing.T) {
+	r := newRig()
+	ch, app, oc := r.hostToDev(t, DefaultConfig())
+	oc.InstallCallHandler(func([]byte) {})
+
+	oc.Pause()
+	app.Write([]byte{1})
+	app.Write([]byte{2})
+	r.eng.RunAll()
+	if oc.HeldMessages() != 2 {
+		t.Fatalf("held %d, want 2", oc.HeldMessages())
+	}
+	ch.Close()
+	st := ch.Stats()
+	if st.Undelivered != 2 || st.Replayed != 0 {
+		t.Fatalf("stats after close-while-paused: %+v", st)
+	}
+	if n := oc.Resume(); n != 0 {
+		t.Fatalf("Resume on closed channel replayed %d", n)
+	}
+}

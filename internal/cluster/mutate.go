@@ -1,0 +1,383 @@
+package cluster
+
+// This file lifts the core delta surface to cluster scope: a committed
+// cluster is no longer a one-shot deployment. Coordinator.Mutate applies
+// shard deltas — grow the shard set, shrink it, hot-swap a live shard's
+// ODF — against the running assignment with an *incremental* re-solve:
+// every committed shard enters the shard graph pinned where it runs, so
+// only the mutation's own shards move and the hosts they do not land on
+// are provably untouched (their runtimes see no new deployment commit).
+// Swaps delegate to the owning host's core.App.Replace, so the channel
+// quiesce/replay discipline and the mid-swap rollback are exactly the
+// single-host ones; bridge proxy channels attached to the swapped shard
+// are session channels and ride through the swap like any other.
+//
+// Mutate runs on the shared system engine and is a serial-mode operation:
+// with Spec.EnginePerHost it must run between windows (via
+// sim.Group.Settle), never while host goroutines are inside Group.Run.
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/obs"
+	"hydra/internal/sim"
+)
+
+// ShardDelta is one mutation of the cluster's committed shard set. The
+// concrete types are AddShard, RemoveShard and SwapShard.
+type ShardDelta interface {
+	shardLabel() string
+}
+
+// ShardEdge declares a Connect edge from a newly added shard to another
+// shard — either one added in the same mutation or one already committed.
+type ShardEdge struct {
+	To      string
+	Traffic Traffic
+}
+
+// AddShard grows the shard set: the ODF at Path deploys as a new shard,
+// placed by an incremental re-solve in which every committed shard stays
+// pinned to its current host.
+type AddShard struct {
+	Path string
+	// Load is the shard's placement weight (0 → 1).
+	Load float64
+	// Pin forces the shard onto the named host ("" = solver's choice).
+	Pin string
+	// Connect declares the new shard's edges; each materializes as a
+	// bridge exactly like a plan edge.
+	Connect []ShardEdge
+}
+
+// RemoveShard shrinks the shard set: the named shard stops, its bridges
+// tear down, and its load stops counting against host capacity.
+type RemoveShard struct {
+	Bind string
+}
+
+// SwapShard hot-swaps the named live shard with the ODF at Path (which
+// must be stocked in the owning host's depot and carry the same bind
+// name), delegating to the host's core.App.Replace: channels quiesce,
+// state carries across via the Checkpointer contract, held messages
+// replay, and a mid-swap failure rolls back to the old instance.
+type SwapShard struct {
+	Bind string
+	Path string
+}
+
+func (d AddShard) shardLabel() string    { return "add " + d.Path }
+func (d RemoveShard) shardLabel() string { return "remove " + d.Bind }
+func (d SwapShard) shardLabel() string   { return "swap " + d.Bind }
+
+// ShardSwap records one SwapShard's outcome.
+type ShardSwap struct {
+	Bind, Host string
+	// Window is the swap's span on the virtual clock (quiesce → replay).
+	Window sim.Time
+	// Replayed counts messages held during the quiesce window and
+	// re-delivered to the replacement.
+	Replayed int
+}
+
+// ClusterMutation is the typed outcome of Coordinator.Mutate.
+type ClusterMutation struct {
+	// Added maps each new shard bind to its host.
+	Added map[string]string
+	// Removed lists the binds RemoveShard stopped.
+	Removed []string
+	// Swaps records each SwapShard in order.
+	Swaps []ShardSwap
+	// RedeployedHosts lists the hosts whose runtimes ran a deployment
+	// commit during the mutation (sorted); UntouchedHosts lists the live
+	// hosts that provably did not — their core deployment counters are
+	// unchanged. A swap host appears in neither count's commits: a
+	// hot-swap is not a redeploy.
+	RedeployedHosts []string
+	UntouchedHosts  []string
+	// RolledBack reports that a delta failed; deltas before it stay
+	// applied (they already committed), the failed delta itself unwound.
+	RolledBack bool
+	// Started and Finished bracket the mutation on the virtual clock.
+	Started, Finished sim.Time
+}
+
+// Mutate applies shard deltas in order against the running cluster. Each
+// delta is atomic — a failed add unwinds its own sub-commits and bridges,
+// a failed swap rolls back to the old shard — and the mutation stops at
+// the first failure with RolledBack set. The incremental-re-solve
+// contract: hosts that receive no new shard from a delta are not
+// redeployed (ClusterMutation.UntouchedHosts names them, backed by each
+// runtime's deployment counter).
+func (c *Coordinator) Mutate(deltas []ShardDelta, k func(*ClusterMutation, error)) {
+	eng := c.sys.Eng
+	trm := obs.ForCat(eng, obs.CatMutate)
+	res := &ClusterMutation{
+		Added:   make(map[string]string),
+		Started: eng.Now(),
+	}
+	// Deployment-counter snapshot: the untouched-host proof.
+	before := make(map[string]uint64, len(c.backs))
+	for _, b := range c.live() {
+		before[b.name()] = b.hs.Runtime.Deployments()
+	}
+	done := func(err error) {
+		res.Finished = eng.Now()
+		for _, b := range c.live() {
+			base, ok := before[b.name()]
+			if !ok {
+				continue
+			}
+			if b.hs.Runtime.Deployments() != base {
+				res.RedeployedHosts = append(res.RedeployedHosts, b.name())
+			} else {
+				res.UntouchedHosts = append(res.UntouchedHosts, b.name())
+			}
+		}
+		sort.Strings(res.RedeployedHosts)
+		sort.Strings(res.UntouchedHosts)
+		c.committing = false
+		if trm.On() {
+			trm.Complete(obs.CatMutate, "mutate.cluster", res.Started,
+				res.Finished-res.Started, int64(len(deltas)))
+		}
+		k(res, err)
+	}
+	if c.closed {
+		res.Finished = eng.Now()
+		k(res, fmt.Errorf("cluster: coordinator closed"))
+		return
+	}
+	if c.committing {
+		res.Finished = eng.Now()
+		k(res, fmt.Errorf("cluster: another commit is in flight"))
+		return
+	}
+	c.committing = true
+
+	var apply func(i int)
+	apply = func(i int) {
+		if i == len(deltas) {
+			done(nil)
+			return
+		}
+		next := func(err error) {
+			if err != nil {
+				res.RolledBack = true
+				done(fmt.Errorf("cluster: mutate %s: %w", deltas[i].shardLabel(), err))
+				return
+			}
+			apply(i + 1)
+		}
+		switch d := deltas[i].(type) {
+		case AddShard:
+			c.applyAddShard(d, res, trm, next)
+		case RemoveShard:
+			c.applyRemoveShard(d, res, trm, next)
+		case SwapShard:
+			c.applySwapShard(d, res, trm, next)
+		default:
+			next(fmt.Errorf("cluster: unknown delta %T", deltas[i]))
+		}
+	}
+	apply(0)
+}
+
+// applyAddShard deploys one new shard through the incremental pipeline:
+// a single-root plan whose solve pins every committed shard in place, a
+// sub-commit on only the chosen host, and a bridge per declared edge. A
+// failure unwinds the sub-commit and the bridges already built.
+func (c *Coordinator) applyAddShard(d AddShard, res *ClusterMutation, trm *obs.Shard, k func(error)) {
+	if d.Pin != "" {
+		back, ok := c.byHost[d.Pin]
+		if !ok || back.dead {
+			k(fmt.Errorf("cluster: pin to unavailable host %q", d.Pin))
+			return
+		}
+	}
+	live := c.live()
+	if len(live) == 0 {
+		k(fmt.Errorf("cluster: no live hosts"))
+		return
+	}
+	doc, err := live[0].hs.Depot.LoadODF(d.Path)
+	if err != nil {
+		k(err)
+		return
+	}
+	bind := doc.BindName
+	if cur, ok := c.placements[bind]; ok {
+		k(fmt.Errorf("%w: %s already deployed on host %s", core.ErrDuplicateBind, bind, cur.back.name()))
+		return
+	}
+	load := d.Load
+	if load == 0 {
+		load = 1
+	}
+	root := planRoot{path: d.Path, bind: bind, load: load, pin: d.Pin}
+	p := &Plan{coord: c, roots: []planRoot{root}}
+	for _, e := range d.Connect {
+		if e.To == bind {
+			k(fmt.Errorf("cluster: edge %s→%s connects a shard to itself", bind, e.To))
+			return
+		}
+		if _, committed := c.placements[e.To]; !committed {
+			k(fmt.Errorf("cluster: edge endpoint %s is not a committed shard", e.To))
+			return
+		}
+		p.edges = append(p.edges, planEdge{a: bind, b: e.To, traffic: e.Traffic})
+	}
+
+	// Incremental re-solve: solveAssign pins every committed shard to its
+	// current host, so only the new root is assignable and edge pulls can
+	// only move *it*.
+	asg, err := p.solveAssign()
+	if err != nil {
+		k(err)
+		return
+	}
+	target := asg.byRoot[bind]
+
+	backOf := func(b string) *backend {
+		if b == bind {
+			return target
+		}
+		return c.placements[b].back
+	}
+
+	plan := target.app.Plan()
+	if err := plan.AddRoot(d.Path); err != nil {
+		k(fmt.Errorf("cluster: host %s: %w", target.name(), err))
+		return
+	}
+	plan.Commit(func(hdep *core.Deployment, err error) {
+		if err != nil {
+			k(fmt.Errorf("cluster: host %s: %w", target.name(), err))
+			return
+		}
+		var built []*Bridge
+		unwind := func(cause error) {
+			for i := len(built) - 1; i >= 0; i-- {
+				built[i].teardown()
+			}
+			unwindDeployment(hdep)
+			k(cause)
+		}
+		var buildEdge func(j int)
+		buildEdge = func(j int) {
+			if j == len(p.edges) {
+				c.placements[bind] = &placement{
+					bind: bind, path: d.Path, load: load, pin: d.Pin, back: target,
+				}
+				c.rootOrder = append(c.rootOrder, bind)
+				for _, e := range p.edges {
+					c.edges = append(c.edges, edgeRec{a: e.a, b: e.b, traffic: e.traffic})
+				}
+				for _, br := range built {
+					c.bridges[EdgeKey(br.A, br.B)] = br
+				}
+				res.Added[bind] = target.name()
+				if trm.On() {
+					trm.Instant(obs.CatMutate, "mutate.shard.add", int64(len(p.edges)))
+				}
+				k(nil)
+				return
+			}
+			e := p.edges[j]
+			c.buildBridge(e.a, e.b, backOf(e.a), backOf(e.b), func(br *Bridge, err error) {
+				if err != nil {
+					unwind(fmt.Errorf("cluster: bridge %s↔%s: %w", e.a, e.b, err))
+					return
+				}
+				built = append(built, br)
+				buildEdge(j + 1)
+			})
+		}
+		buildEdge(0)
+	})
+}
+
+// applyRemoveShard stops one committed shard: its bridges tear down
+// first (so no relay writes into a dying channel), then the shard stops
+// on its host, then the coordinator forgets its placement, order slot
+// and edges.
+func (c *Coordinator) applyRemoveShard(d RemoveShard, res *ClusterMutation, trm *obs.Shard, k func(error)) {
+	pl, ok := c.placements[d.Bind]
+	if !ok {
+		k(fmt.Errorf("cluster: %s is not a committed shard", d.Bind))
+		return
+	}
+	torn := 0
+	for _, e := range c.edges {
+		if e.a != d.Bind && e.b != d.Bind {
+			continue
+		}
+		key := EdgeKey(e.a, e.b)
+		if br := c.bridges[key]; br != nil {
+			br.teardown()
+			delete(c.bridges, key)
+			torn++
+		}
+	}
+	keptEdges := c.edges[:0]
+	for _, e := range c.edges {
+		if e.a != d.Bind && e.b != d.Bind {
+			keptEdges = append(keptEdges, e)
+		}
+	}
+	c.edges = keptEdges
+
+	h, err := pl.back.hs.Runtime.GetOffcode(d.Bind)
+	if err == nil {
+		if err := pl.back.app.StopOffcode(h); err != nil {
+			k(fmt.Errorf("cluster: stop %s on %s: %w", d.Bind, pl.back.name(), err))
+			return
+		}
+	}
+	delete(c.placements, d.Bind)
+	kept := c.rootOrder[:0]
+	for _, bind := range c.rootOrder {
+		if bind != d.Bind {
+			kept = append(kept, bind)
+		}
+	}
+	c.rootOrder = kept
+	res.Removed = append(res.Removed, d.Bind)
+	if trm.On() {
+		trm.Instant(obs.CatMutate, "mutate.shard.remove", int64(torn))
+	}
+	k(nil)
+}
+
+// applySwapShard hot-swaps one committed shard in place via the owning
+// host's core.App.Replace: the bridge proxy channels attached to it are
+// session channels, so they quiesce, survive the swap and replay into the
+// replacement. The placement's host does not change (the core layer pins
+// the replacement to the old target), so no bridge needs rebuilding.
+func (c *Coordinator) applySwapShard(d SwapShard, res *ClusterMutation, trm *obs.Shard, k func(error)) {
+	pl, ok := c.placements[d.Bind]
+	if !ok {
+		k(fmt.Errorf("cluster: %s is not a committed shard", d.Bind))
+		return
+	}
+	pl.back.app.Replace(d.Bind, d.Path, func(m *core.MutationResult, err error) {
+		if err != nil {
+			k(err)
+			return
+		}
+		pl.path = d.Path
+		sw := ShardSwap{
+			Bind: d.Bind, Host: pl.back.name(),
+			Window:   m.Finished - m.Started,
+			Replayed: m.Replayed,
+		}
+		res.Swaps = append(res.Swaps, sw)
+		if trm.On() {
+			trm.Complete(obs.CatMutate, "mutate.shard.swap", m.Started,
+				m.Finished-m.Started, int64(m.Replayed))
+		}
+		k(nil)
+	})
+}

@@ -107,6 +107,11 @@ type Handle struct {
 	seq         uint64 // global instantiation order; failover stops in reverse
 	app         *App   // owning application session (nil for pseudo Offcodes)
 	srcPath     string // depot path of the ODF this instance was loaded from
+
+	// attached records the session channels the Channel Executive connected
+	// to this instance (the Offcode-side endpoints), so a live Replace can
+	// quiesce them and hand the surviving channels to the replacement.
+	attached []attachedEnd
 }
 
 // App returns the application session that owns this Offcode (nil for
@@ -182,11 +187,16 @@ type Runtime struct {
 	instSeq uint64
 
 	// tr is the engine's trace shard when CatCore is enabled, else nil;
-	// deploy commits, checkpoints and restores record on it.
-	tr *obs.Shard
+	// deploy commits, checkpoints and restores record on it. trm is the
+	// CatMutate shard carrying live-mutation windows (hot-swap quiesce,
+	// replay, rollback), so mutation impact separates cleanly from steady
+	// deployment traffic in a trace breakdown.
+	tr  *obs.Shard
+	trm *obs.Shard
 
 	// Application sessions (see app.go): every deployment belongs to one.
-	// defaultApp backs the deprecated callback Deploy shim.
+	// defaultApp owns runtime-internal deployments (failover redeploys of
+	// roots whose session has closed).
 	apps       map[string]*App
 	defaultApp *App
 
@@ -223,12 +233,13 @@ func New(eng *sim.Engine, host *hostos.Machine, b *bus.Bus, dep *depot.Depot, cf
 		byBind:    make(map[string]*Handle),
 		apps:      make(map[string]*App),
 		tr:        obs.ForCat(eng, obs.CatCore),
+		trm:       obs.ForCat(eng, obs.CatMutate),
 	}
 	rt.loaders[LoaderHostLink] = &hostLinkLoader{rt: rt}
 	rt.loaders[LoaderDeviceLink] = &deviceLinkLoader{rt: rt}
 	rt.registerPseudoOffcodes()
-	// The default session backs the deprecated callback Deploy shim, so
-	// legacy single-tenant callers keep working unchanged.
+	// The default session adopts runtime-internal deployments, e.g.
+	// failover redeploys of roots whose owning session has closed.
 	app, err := rt.OpenApp(DefaultAppName, AppConfig{})
 	if err != nil {
 		panic("core: default app: " + err.Error()) // fresh runtime; cannot collide
@@ -237,7 +248,7 @@ func New(eng *sim.Engine, host *hostos.Machine, b *bus.Bus, dep *depot.Depot, cf
 	return rt
 }
 
-// DefaultApp returns the session backing the deprecated Deploy shim.
+// DefaultApp returns the runtime's built-in session.
 func (rt *Runtime) DefaultApp() *App { return rt.defaultApp }
 
 // Engine returns the simulation engine.
@@ -324,6 +335,17 @@ func (rt *Runtime) recordRoot(path, bind string, app *App) bool {
 	}
 	rt.roots = append(rt.roots, rootRecord{path: path, bind: bind, app: app})
 	return true
+}
+
+// rerecordRoot repoints an existing root record at a new ODF path after a
+// successful hot-swap, so failover redeploys the replacement, not the
+// version it replaced.
+func (rt *Runtime) rerecordRoot(bind, path string) {
+	for i := range rt.roots {
+		if rt.roots[i].bind == bind {
+			rt.roots[i].path = path
+		}
+	}
 }
 
 // forgetRoot drops root records whose root Offcode was stopped explicitly,

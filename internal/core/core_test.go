@@ -102,12 +102,31 @@ func importRef(bind string, g uint64, typ string) string {
 		<reference type="%s"><GUID>%d</GUID></reference></import>`, bind, bind, typ, g)
 }
 
+// planDeploy commits a single-root plan under the runtime's default
+// session, delivering the root handle — the plan-based shape of the
+// removed legacy Deploy shim.
+func planDeploy(rt *Runtime, path string, k func(*Handle, error)) {
+	plan := rt.DefaultApp().Plan()
+	if err := plan.AddRoot(path); err != nil {
+		k(nil, err)
+		return
+	}
+	bind := plan.roots[0].bind
+	plan.Commit(func(dep *Deployment, err error) {
+		if err != nil {
+			k(nil, err)
+			return
+		}
+		k(dep.Handles[bind], nil)
+	})
+}
+
 func deploy(t *testing.T, r *rig, path string) *Handle {
 	t.Helper()
 	var h *Handle
 	var derr error
 	done := false
-	r.rt.Deploy(path, func(handle *Handle, err error) { h, derr, done = handle, err, true })
+	planDeploy(r.rt, path, func(handle *Handle, err error) { h, derr, done = handle, err, true })
 	r.eng.RunAll()
 	if !done {
 		t.Fatal("deployment never completed")
@@ -244,7 +263,7 @@ func TestDeployErrors(t *testing.T) {
 	r := newRig(t, Config{})
 	// Missing ODF.
 	var gotErr error
-	r.rt.Deploy("/nope.odf", func(h *Handle, err error) { gotErr = err })
+	planDeploy(r.rt, "/nope.odf", func(h *Handle, err error) { gotErr = err })
 	r.eng.RunAll()
 	if gotErr == nil {
 		t.Fatal("missing ODF deployed")
@@ -253,7 +272,7 @@ func TestDeployErrors(t *testing.T) {
 	r.depot.PutFile("/offcodes/x.odf", []byte(`<offcode>
 	  <package><bindname>x</bindname><GUID>999</GUID></package>
 	  <targets><host-fallback>true</host-fallback></targets></offcode>`))
-	r.rt.Deploy("/offcodes/x.odf", func(h *Handle, err error) { gotErr = err })
+	planDeploy(r.rt, "/offcodes/x.odf", func(h *Handle, err error) { gotErr = err })
 	r.eng.RunAll()
 	if gotErr == nil || !strings.Contains(gotErr.Error(), "factory") {
 		t.Fatalf("err = %v, want factory error", gotErr)
@@ -265,7 +284,7 @@ func TestDeployCycleDetected(t *testing.T) {
 	r.stock(t, "a", 1, "Network Device", importRef("b", 2, "Link"))
 	r.stock(t, "b", 2, "Network Device", importRef("a", 1, "Link"))
 	var gotErr error
-	r.rt.Deploy("/offcodes/a.odf", func(h *Handle, err error) { gotErr = err })
+	planDeploy(r.rt, "/offcodes/a.odf", func(h *Handle, err error) { gotErr = err })
 	r.eng.RunAll()
 	if gotErr == nil || !strings.Contains(gotErr.Error(), "cycle") {
 		t.Fatalf("err = %v, want cycle error", gotErr)
@@ -496,8 +515,8 @@ func (r *rig) stockNoFactory(t *testing.T, bind string, g uint64, targetClass st
 // memory already pinned for earlier Offcodes in the same closure — their
 // OOB rings stayed on the hostos.LiveBytes ledger and their images stayed
 // registered. The pipeline must roll the partial deployment back to the
-// exact pre-deploy ledger and Offcode population. The legacy Deploy shim
-// and an explicit plan Commit share the pipeline and must both pass.
+// exact pre-deploy ledger and Offcode population. The default session and
+// an explicit app's plan Commit share the pipeline and must both pass.
 func TestDeployMidListFailureRollsBackPinnedMemory(t *testing.T) {
 	run := func(t *testing.T, deploy func(r *rig) error) {
 		r := newRig(t, Config{})
@@ -532,10 +551,10 @@ func TestDeployMidListFailureRollsBackPinnedMemory(t *testing.T) {
 			t.Fatal("rolled-back import still registered")
 		}
 	}
-	t.Run("legacy-deploy-shim", func(t *testing.T) {
+	t.Run("default-session", func(t *testing.T) {
 		run(t, func(r *rig) error {
 			var derr error
-			r.rt.Deploy("/offcodes/net.Socket.odf", func(h *Handle, err error) { derr = err })
+			planDeploy(r.rt, "/offcodes/net.Socket.odf", func(h *Handle, err error) { derr = err })
 			r.eng.RunAll()
 			return derr
 		})
@@ -589,7 +608,7 @@ func TestCommitRollsBackOnInitializeFailure(t *testing.T) {
 
 	liveBefore := r.host.LiveBytes()
 	var derr error
-	r.rt.Deploy("/offcodes/net.Bad.odf", func(h *Handle, err error) { derr = err })
+	planDeploy(r.rt, "/offcodes/net.Bad.odf", func(h *Handle, err error) { derr = err })
 	r.eng.RunAll()
 	if derr == nil || !strings.Contains(derr.Error(), "Initialize") {
 		t.Fatalf("err = %v", derr)
@@ -618,7 +637,7 @@ func TestDuplicateBindRejectedAcrossPaths(t *testing.T) {
   <targets><host-fallback>true</host-fallback></targets>
 </offcode>`))
 	var derr error
-	r.rt.Deploy("/offcodes/impostor.odf", func(h *Handle, err error) { derr = err })
+	planDeploy(r.rt, "/offcodes/impostor.odf", func(h *Handle, err error) { derr = err })
 	r.eng.RunAll()
 	if !errors.Is(derr, ErrDuplicateBind) {
 		t.Fatalf("err = %v, want ErrDuplicateBind", derr)

@@ -26,20 +26,9 @@ import (
 // DeployPlan.Solve (plan.go) exposes as a placement preview; steps 4–6
 // take simulated time and run under DeployPlan.Commit with rollback.
 
-// Deploy runs the deployment pipeline for the single root at path under
-// the runtime's default application session, delivering the root handle
-// through k once the deployment settles on the virtual clock.
-//
-// Deprecated: Deploy is a thin shim kept so single-tenant callers compile.
-// New code should open a session and use the transactional plan API:
-// rt.OpenApp(...) → app.Plan() → plan.AddRoot(path) → plan.Commit(...),
-// which adds app identity, quotas, placement preview and atomic rollback.
-func (rt *Runtime) Deploy(path string, k func(*Handle, error)) {
-	rt.defaultApp.deployOne(path, k)
-}
-
 // deployOne plans and commits a single root under the session, adapting
-// the typed Deployment result to the legacy (*Handle, error) callback.
+// the typed Deployment result to a (*Handle, error) callback — the form
+// failover's sequential redeploy loop drives.
 func (a *App) deployOne(path string, k func(*Handle, error)) {
 	plan := a.Plan()
 	if err := plan.AddRoot(path); err != nil {
@@ -190,11 +179,25 @@ type solvedRoot struct {
 	reused     []string
 }
 
+// placementPin forces one bind name of a solved root onto a fixed target
+// (nil dev = host). Hot-swap uses it: the replacement must land exactly
+// where the instance it replaces ran, because the surviving channel
+// endpoints are bound to that execution context.
+type placementPin struct {
+	dev *device.Device
+}
+
 // solveRoot runs steps 1–3 for the root at path: closure, layout graph,
 // resolution. It touches no hardware and consumes no simulated time.
 // placed carries the state earlier plan roots will have established and is
 // extended with this root's outcome.
 func (rt *Runtime) solveRoot(path string, placed *placedSet) (*solvedRoot, error) {
+	return rt.solveRootPinned(path, placed, nil)
+}
+
+// solveRootPinned is solveRoot with per-bind placement pins applied on top
+// of the ODF constraint graph.
+func (rt *Runtime) solveRootPinned(path string, placed *placedSet, pinTo map[string]placementPin) (*solvedRoot, error) {
 	docs, order, err := rt.closure(path, placed)
 	if err != nil {
 		return nil, err
@@ -318,6 +321,35 @@ func (rt *Runtime) solveRoot(path string, placed *placedSet) (*solvedRoot, error
 				node.BindName, pin.imp.Type, pin.peer)
 		}
 	}
+	// Placement pins narrow a node to one fixed target on top of whatever
+	// the ODF constraints allow.
+	for i, o := range out.odfs {
+		pin, pinned := pinTo[o.BindName]
+		if !pinned {
+			continue
+		}
+		target := 0
+		if pin.dev != nil {
+			for j, dev := range avail {
+				if dev == pin.dev {
+					target = j + 1
+					break
+				}
+			}
+			if target == 0 {
+				return nil, fmt.Errorf("core: %s: pinned device %s is not an available target",
+					o.BindName, pin.dev.Name())
+			}
+		}
+		node := &graph.Nodes[i]
+		for t := range node.Compat {
+			node.Compat[t] = node.Compat[t] && t == target
+		}
+		if !node.Compat[target] {
+			return nil, fmt.Errorf("core: %s: replacement cannot keep placement %s",
+				o.BindName, targetName(pin.dev))
+		}
+	}
 	var placement layout.Placement
 	switch rt.cfg.Resolver {
 	case ResolveILP:
@@ -347,6 +379,14 @@ func (rt *Runtime) solveRoot(path string, placed *placedSet) (*solvedRoot, error
 		placed.byGUID[o.GUID] = info
 	}
 	return out, nil
+}
+
+// targetName names a placement target for diagnostics (nil = host).
+func targetName(d *device.Device) string {
+	if d == nil {
+		return "host"
+	}
+	return d.Name()
 }
 
 // target returns the placement device for odfs[i] (nil = host).

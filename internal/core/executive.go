@@ -126,6 +126,15 @@ func (rt *Runtime) createChannelUnder(owner *resource.Node, cfg channel.Config, 
 	return appEnd, ch, node, nil
 }
 
+// attachedEnd is one Offcode-side channel endpoint the executive
+// connected to a deployed instance. Handles carry these so a live
+// Replace can pause them, hand the surviving channels to the
+// replacement instance, and replay what arrived mid-swap.
+type attachedEnd struct {
+	ch  *channel.Channel
+	end *channel.Endpoint
+}
+
 // ConnectOffcode attaches target's endpoint to an existing channel
 // (the paper's Channel.ConnectOffcode), selecting the best provider for
 // the target's device by cost.
@@ -143,8 +152,23 @@ func (rt *Runtime) ConnectOffcode(ch *channel.Channel, target *Handle) error {
 	if err := ch.Connect(ocEnd); err != nil {
 		return err
 	}
+	target.attached = append(target.attached, attachedEnd{ch: ch, end: ocEnd})
 	notifyOffcodeChannel(target, ocEnd)
 	return nil
+}
+
+// liveAttachments prunes attachments whose channel has since closed and
+// returns the survivors — the endpoints a hot-swap must quiesce and carry
+// over to the replacement instance.
+func (h *Handle) liveAttachments() []attachedEnd {
+	kept := h.attached[:0]
+	for _, at := range h.attached {
+		if !at.ch.Closed() {
+			kept = append(kept, at)
+		}
+	}
+	h.attached = kept
+	return kept
 }
 
 func (rt *Runtime) bestProvider(d *device.Device, cfg channel.Config) (ChannelProvider, error) {

@@ -115,7 +115,7 @@ func (r *twoNICRig) deployFilter(t *testing.T) *Handle {
 	t.Helper()
 	var h *Handle
 	var derr error
-	r.rt.Deploy("/offcodes/net.Filter.odf", func(handle *Handle, err error) { h, derr = handle, err })
+	planDeploy(r.rt, "/offcodes/net.Filter.odf", func(handle *Handle, err error) { h, derr = handle, err })
 	r.eng.Run(sim.Second)
 	if derr != nil {
 		t.Fatal(derr)

@@ -242,6 +242,18 @@ func (p *DeployPlan) Commit(k func(*Deployment, error)) {
 	}
 	dep.Preview = p.preview(solved)
 
+	// Every bind this plan covers — new assignments and reused instances
+	// alike. Once the commit settles, staged restore state for these binds
+	// is cleared: whatever initialize did not consume (a reused root, a
+	// non-Checkpointer behaviour, a failed commit) must not silently feed
+	// stale checkpoint bytes into a later, unrelated deployment of the
+	// same bind name.
+	covered := make([]string, 0, len(dep.Preview.Assignments)+len(dep.Preview.Reused))
+	for _, asg := range dep.Preview.Assignments {
+		covered = append(covered, asg.BindName)
+	}
+	covered = append(covered, dep.Preview.Reused...)
+
 	// Admission against the session's Offcode quota happens before any
 	// hardware is touched: an over-quota plan is rejected wholesale. The
 	// probe charge validates the whole plan at once; each instantiated
@@ -253,24 +265,16 @@ func (p *DeployPlan) Commit(k func(*Deployment, error)) {
 	}
 	p.app.res.Release(QuotaOffcodes, newCount)
 
-	// created tracks every handle the plan instantiates, across all roots,
-	// for whole-plan rollback.
-	var created []*Handle
-	var recorded []planRoot
-	rollback := func() {
-		for i := len(created) - 1; i >= 0; i-- {
-			rt.stopHandle(created[i])
-		}
-		for _, r := range recorded {
-			rt.forgetRoot(r.bind)
-		}
-	}
+	// The delta executor tracks every handle the plan instantiates and
+	// every root record it adds, for whole-plan rollback.
+	x := &deltaExec{rt: rt, app: p.app}
 
 	var commitRoot func(ri int)
 	commitRoot = func(ri int) {
 		if ri == len(solved) {
-			dep.Created = append([]*Handle(nil), created...)
+			dep.Created = append([]*Handle(nil), x.created...)
 			dep.Finished = rt.eng.Now()
+			rt.clearStagedRestore(covered)
 			if rt.tr.On() {
 				rt.tr.Complete(obs.CatCore, "core.deploy", dep.Started,
 					dep.Finished-dep.Started, int64(len(dep.Created)))
@@ -279,54 +283,28 @@ func (p *DeployPlan) Commit(k func(*Deployment, error)) {
 			return
 		}
 		s := solved[ri]
-		finishRoot := func() {
+		x.deployRoot(s, func(err error) {
+			if err != nil {
+				x.rollback()
+				rt.clearStagedRestore(covered)
+				dep.RootErrs[s.bind] = err
+				fail(fmt.Errorf("core: root %s: %w", s.bind, err))
+				return
+			}
 			h, ok := rt.byBind[s.bind]
 			if !ok {
-				rollback()
+				x.rollback()
+				rt.clearStagedRestore(covered)
 				fail(fmt.Errorf("core: root %s vanished during commit", s.bind))
 				return
 			}
 			// Only roots whose record this commit actually added may be
 			// forgotten by a later rollback: a reused root's record
 			// belongs to the commit that created it.
-			if rt.recordRoot(s.path, s.bind, p.app) {
-				recorded = append(recorded, p.roots[ri])
-			}
+			x.record(s)
 			dep.Handles[s.bind] = h
 			commitRoot(ri + 1)
-		}
-		if len(s.odfs) == 0 {
-			finishRoot() // fully reused root
-			return
-		}
-		rootHandles := make([]*Handle, 0, len(s.odfs))
-		var offload func(i int)
-		offload = func(i int) {
-			if i == len(s.odfs) {
-				rt.initialize(rootHandles, 0, func(err error) {
-					if err != nil {
-						rollback()
-						dep.RootErrs[s.bind] = err
-						fail(err)
-						return
-					}
-					finishRoot()
-				})
-				return
-			}
-			rt.instantiate(p.app, s.odfs[i], s.paths[i], s.target(i), func(h *Handle, err error) {
-				if err != nil {
-					rollback()
-					dep.RootErrs[s.bind] = err
-					fail(fmt.Errorf("core: root %s: %w", s.bind, err))
-					return
-				}
-				created = append(created, h)
-				rootHandles = append(rootHandles, h)
-				offload(i + 1)
-			})
-		}
-		offload(0)
+		})
 	}
 	commitRoot(0)
 }

@@ -226,7 +226,11 @@ func RunLoaderAblation(objectBytes int, seed int64) (*LoaderAblation, error) {
 		dep.RegisterFactory(77, func() any { return &nopOffcode{} })
 		var deployErr error
 		done := false
-		rt.Deploy("/oc.odf", func(h *core.Handle, err error) { deployErr, done = err, true })
+		plan := rt.DefaultApp().Plan()
+		if err := plan.AddRoot("/oc.odf"); err != nil {
+			return 0, 0, 0, err
+		}
+		plan.Commit(func(dep *core.Deployment, err error) { deployErr, done = err, true })
 		eng.RunAll()
 		if !done {
 			return 0, 0, 0, fmt.Errorf("deployment incomplete")

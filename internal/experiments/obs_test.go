@@ -110,3 +110,63 @@ func TestClusterTraceDeterminism(t *testing.T) {
 		t.Error("no bridge.rx records in a multi-host trace")
 	}
 }
+
+// TestAutoscaleTraceDeterminism extends the traced-reconcile contract to
+// the live-mutation surface: the elastic X10 cell runs with the recorder
+// on every engine, serially then in parallel, and the merged streams must
+// be identical record for record — including the CatMutate records that
+// break down the mutation windows (cluster mutations, the hot-swap span,
+// the controller's scale events), which hydra-trace categorizes.
+func TestAutoscaleTraceDeterminism(t *testing.T) {
+	run := func(workers int) (*X10Row, []obs.Record) {
+		row, tr, err := RunX10CellTraced(13, workers, true, &obs.Config{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if tr == nil {
+			t.Fatal("traced run returned no tracer")
+		}
+		return row, tr.Merged()
+	}
+	serialRow, serial := run(1)
+	parallelRow, parallel := run(4)
+
+	if *serialRow != *parallelRow {
+		t.Errorf("rows diverge:\n  serial   %+v\n  parallel %+v", *serialRow, *parallelRow)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("trace length diverges: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("record %d diverges:\n  serial   %+v\n  parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+
+	// Mutation accounting must be on the trace surface, all under
+	// CatMutate so hydra-trace's category breakdown isolates the windows.
+	counts := map[string]int{}
+	for _, rec := range serial {
+		if rec.Cat == obs.CatMutate {
+			counts[rec.Name]++
+		}
+	}
+	if counts["mutate.shard.swap"] != 1 {
+		t.Errorf("mutate.shard.swap records = %d, want 1", counts["mutate.shard.swap"])
+	}
+	if counts["mutate.swap"] != 1 {
+		t.Errorf("mutate.swap records = %d, want 1", counts["mutate.swap"])
+	}
+	if got := counts["mutate.shard.add"]; got != serialRow.ScaleUps {
+		t.Errorf("mutate.shard.add records = %d, want %d (one per scale-up)", got, serialRow.ScaleUps)
+	}
+	if got := counts["mutate.shard.remove"]; got != serialRow.ScaleDowns {
+		t.Errorf("mutate.shard.remove records = %d, want %d (one per scale-down)", got, serialRow.ScaleDowns)
+	}
+	if got := counts["scale.up"] + counts["scale.down"]; got != serialRow.ScaleUps+serialRow.ScaleDowns {
+		t.Errorf("scale.* records = %d, want %d", got, serialRow.ScaleUps+serialRow.ScaleDowns)
+	}
+	if counts["mutate.cluster"] == 0 {
+		t.Error("no mutate.cluster spans in an elastic run")
+	}
+}

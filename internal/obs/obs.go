@@ -53,10 +53,11 @@ const (
 	CatCore
 	CatCluster
 	CatApp
+	CatMutate // live-mutation windows: hot-swap quiesce/replay, scale events
 	numCats
 )
 
-var catNames = [numCats]string{"sim", "bus", "host", "channel", "core", "cluster", "app"}
+var catNames = [numCats]string{"sim", "bus", "host", "channel", "core", "cluster", "app", "mutate"}
 
 func (c Cat) String() string {
 	if int(c) < len(catNames) {

@@ -28,13 +28,18 @@ type System struct {
 	// Tracer is the observability recorder (nil unless Spec.Trace was set).
 	Tracer *obs.Tracer
 
-	hosts    map[string]*HostSystem
-	hostList []*HostSystem
-	devices  map[string]*device.Device
-	stations map[string]*netsim.Station
-	nas      map[string]*NASSystem
-	channels map[string]channel.Config
+	hosts     map[string]*HostSystem
+	hostList  []*HostSystem
+	devices   map[string]*device.Device
+	stations  map[string]*netsim.Station
+	nas       map[string]*NASSystem
+	channels  map[string]channel.Config
+	mutations []MutationOutcome
 }
+
+// MutationOutcomes returns the results of the Spec.Mutations schedule that
+// have fired so far, in firing order.
+func (sys *System) MutationOutcomes() []MutationOutcome { return sys.mutations }
 
 // HostSystem is one built host with everything attached to it.
 type HostSystem struct {
@@ -267,7 +272,43 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 			return nil, err
 		}
 	}
+	for i, m := range spec.Mutations {
+		if err := sys.armMutation(i, m); err != nil {
+			return nil, err
+		}
+	}
 	return sys, nil
+}
+
+// armMutation validates one MutationSpec against the built hosts and
+// schedules the hot-swap on the owning host's engine. The mutation is armed
+// after construction, so under EnginePerHost it fires inside the host's own
+// clock domain; cluster drivers that need the swap between conservative
+// windows should use cluster.Coordinator.Mutate instead.
+func (sys *System) armMutation(i int, m MutationSpec) error {
+	hs := sys.hosts[m.Host]
+	if hs == nil {
+		return fmt.Errorf("testbed: mutation %d names unknown host %q", i, m.Host)
+	}
+	if hs.Runtime == nil {
+		return fmt.Errorf("testbed: mutation %d: host %q has no runtime", i, m.Host)
+	}
+	app := hs.Runtime.DefaultApp()
+	if m.App != "" {
+		if app = hs.Runtime.App(m.App); app == nil {
+			return fmt.Errorf("testbed: mutation %d: host %q has no app %q", i, m.Host, m.App)
+		}
+	}
+	if m.Bind == "" || m.Path == "" {
+		return fmt.Errorf("testbed: mutation %d on host %q needs Bind and Path", i, m.Host)
+	}
+	spec := m
+	hs.Eng.At(m.At, func() {
+		app.Replace(spec.Bind, spec.Path, func(res *core.MutationResult, err error) {
+			sys.mutations = append(sys.mutations, MutationOutcome{Spec: spec, Result: res, Err: err})
+		})
+	})
+	return nil
 }
 
 func (sys *System) attach(name string) (*netsim.Station, error) {

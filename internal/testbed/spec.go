@@ -43,6 +43,7 @@ import (
 	"hydra/internal/netsim"
 	"hydra/internal/nfs"
 	"hydra/internal/obs"
+	"hydra/internal/sim"
 )
 
 // Spec is a complete testbed topology. The zero value is an empty world;
@@ -93,6 +94,34 @@ type Spec struct {
 	// up from their engine automatically. Read the trace via
 	// System.Tracer.
 	Trace *obs.Config
+	// Mutations is the declarative live-mutation schedule: at each entry's
+	// virtual time, the named host's session hot-swaps the Offcode deployed
+	// as Bind with the ODF at Path (core.App.Replace — quiesce, checkpoint
+	// carry-over, replay, rollback on failure). Build validates the host
+	// and app names and arms the schedule on each host's engine; outcomes
+	// accumulate on System.MutationOutcomes in firing order.
+	Mutations []MutationSpec
+}
+
+// MutationSpec schedules one live hot-swap against a built system.
+type MutationSpec struct {
+	// Host names the runtime host whose deployment mutates.
+	Host string
+	// App names the session owning the deployment ("" = the runtime's
+	// default session).
+	App string
+	// At is the virtual time the mutation fires.
+	At sim.Time
+	// Bind is the live root to replace; Path is the replacement ODF.
+	Bind string
+	Path string
+}
+
+// MutationOutcome records one fired MutationSpec.
+type MutationOutcome struct {
+	Spec   MutationSpec
+	Result *core.MutationResult
+	Err    error
 }
 
 // ChannelSpec names one channel configuration profile on a Spec.

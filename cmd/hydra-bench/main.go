@@ -12,18 +12,22 @@
 //
 // The -scenario flag runs selected experiments by name, comma-separated
 // (e.g. -scenario x6-failover or -scenario engine,x7-saturation,x9; the
-// aliases x8/x9/x10 expand to x8-contention/x9-cluster/x10-autoscale),
-// which makes iterating on one table cheap. CI archives `-json -scenario
-// x7-saturation` output as the per-commit channel hot-path baseline
-// (cycles/message, latency, interrupts, event volume), `-json -scenario
-// x8-contention` as the multi-app contention baseline (admissions, quota
-// denials, per-app throughput, teardown reclamation), `-json -scenario
-// x9-cluster` as the cluster sharding baseline (per-cell throughput,
-// cross-host bridge counts, migration time), and `-json -scenario
-// x10-autoscale` as the live-mutation baseline (capacity saved, hot-swap
-// window, replayed client messages). The x9 scenario runs its grid twice
-// — serial, then the Sweep pool — and fails unless the rows are
-// bit-identical; x10 does the same for its elastic cell's window bodies.
+// aliases x8/x9/x10/x11 expand to x8-contention/x9-cluster/x10-autoscale/
+// x11-syscalls), which makes iterating on one table cheap. CI archives
+// `-json -scenario x7-saturation` output as the per-commit channel
+// hot-path baseline (cycles/message, latency, interrupts, event volume),
+// `-json -scenario x8-contention` as the multi-app contention baseline
+// (admissions, quota denials, per-app throughput, teardown reclamation),
+// `-json -scenario x9-cluster` as the cluster sharding baseline
+// (per-cell throughput, cross-host bridge counts, migration time),
+// `-json -scenario x10-autoscale` as the live-mutation baseline
+// (capacity saved, hot-swap window, replayed client messages), and
+// `-json -scenario x11-syscalls` as the device-syscall dispatch baseline
+// (host cycles/syscall per variant×rate, p99 completion latency,
+// hot-swap replay window). The x9 scenario runs its grid twice — serial,
+// then the Sweep pool — and fails unless the rows are bit-identical; x10
+// does the same for its elastic cell's window bodies, and x11 for every
+// rate cell of its syscall grid.
 //
 // Two scenarios gate the simulator core itself: `engine` runs the
 // chain/wide/churn microbenchmarks (events/sec and allocs/event for the
@@ -33,20 +37,23 @@
 // the rows match bit for bit. The -baseline flag compares the current
 // run against an archived BENCH_*.json and fails on a regression:
 // *_events_per_sec and *_msgs_per_sec must stay above 0.8× the
-// baseline, *_cycles_per_msg below 1.25×, and *_swap_window_ms below
-// 1.5× (the hot-swap quiesce window must not quietly lengthen). CI runs
-// `-scenario engine,x7-saturation,x9-cluster,x10-autoscale -baseline
-// BENCH_0008.json` per commit.
+// baseline, *_cycles_per_msg and *_cycles_per_syscall below 1.25×, and
+// *_swap_window_ms below 1.5× (the hot-swap quiesce window must not
+// quietly lengthen). CI runs `-scenario
+// engine,x7-saturation,x9-cluster,x10-autoscale,x11-syscalls -baseline
+// BENCH_0009.json` per commit.
 //
 // The -trace flag additionally runs one traced x7 saturation cell and
 // writes its merged recorder stream as Chrome trace-event JSON
 // (Perfetto-loadable; a .csv extension selects CSV instead), failing
 // unless the per-message trace records reconcile with channel.Stats.
-// cmd/hydra-trace summarizes the file.
+// -trace-x11 does the same for one x11 syscall-rate cell, reconciling
+// the per-call issue/dispatch/complete records against the syscall
+// stats. cmd/hydra-trace summarizes either file.
 //
 // Usage:
 //
-//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario a,b,...] [-baseline file] [-trace out.json]
+//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario a,b,...] [-baseline file] [-trace out.json] [-trace-x11 out.json]
 package main
 
 import (
@@ -88,6 +95,7 @@ func main() {
 	scenario := flag.String("scenario", "", "run only the named scenarios, comma-separated (e.g. x6-failover or engine,x7-saturation,x9)")
 	baseline := flag.String("baseline", "", "BENCH_*.json to compare against: fail if throughput or cycles/msg metrics regress")
 	tracePath := flag.String("trace", "", "run one traced x7 cell and write its trace here (.json Chrome trace-event, .csv CSV)")
+	traceX11 := flag.String("trace-x11", "", "run one traced x11 syscall-rate cell and write its trace here (same formats)")
 	flag.Parse()
 
 	// selected is the requested scenario set (empty = run everything);
@@ -105,6 +113,8 @@ func main() {
 			name = "x9-cluster"
 		case "x10": // short alias for the autoscaling ramp
 			name = "x10-autoscale"
+		case "x11": // short alias for the device-syscall rate grid
+			name = "x11-syscalls"
 		}
 		selected[name] = true
 	}
@@ -359,6 +369,34 @@ func main() {
 		return m, res.Render(), nil
 	})
 
+	timed("x11-syscalls", func() (map[string]float64, string, error) {
+		// The syscall-rate grid runs every cell twice — serial, then the
+		// per-host engine group on many workers — and RunSyscalls fails
+		// unless the rows match bit for bit. The hot-swap leg replays
+		// in-flight syscalls across App.Replace with exactly-once
+		// completion, gated by CheckSyscallShape.
+		res, err := experiments.RunSyscalls(*seed, *workers)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := experiments.CheckSyscallShape(res); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range res.Rows {
+			key := fmt.Sprintf("%s_rate%dk", slug(row.Variant), row.RateHz/1000)
+			m[key+"_cycles_per_syscall"] = row.CyclesPerSyscall
+			m[key+"_p99_lat_us"] = row.P99LatencyUS
+			m[key+"_interrupts"] = float64(row.Interrupts)
+			m[key+"_completed"] = float64(row.Completed)
+		}
+		m["batched_speedup"] = res.TopRateSpeedup
+		m["swap_window_ms"] = res.Swap.SwapWindowMS
+		m["swap_inflight"] = float64(res.Swap.InFlightAtSwap)
+		m["swap_reissued"] = float64(res.Swap.Reissued)
+		return m, res.Render(), nil
+	})
+
 	timed("engine", func() (map[string]float64, string, error) {
 		eb, err := experiments.RunEngineBench(*seed, experiments.EngineBenchEvents)
 		if err != nil {
@@ -426,6 +464,9 @@ func main() {
 	if *tracePath != "" {
 		check(writeX7Trace(*tracePath, *seed, verbose))
 	}
+	if *traceX11 != "" {
+		check(writeX11Trace(*traceX11, *seed, verbose))
+	}
 
 	if *baseline != "" {
 		check(compareBaseline(rep, *baseline, verbose))
@@ -463,6 +504,10 @@ var baselineClasses = []baselineClass{
 	{suffix: "_events_per_sec", band: throughputBand},
 	{suffix: "_msgs_per_sec", band: throughputBand},
 	{suffix: "_cycles_per_msg", band: cyclesBand, ceiling: true},
+	// Host cost per device-initiated syscall (x11) is gated the same way
+	// as cycles/msg: virtual-clock deterministic, ceiling leaves room for
+	// intentional dispatch cost-model changes.
+	{suffix: "_cycles_per_syscall", band: cyclesBand, ceiling: true},
 	// The hot-swap quiesce→replay window is virtual-clock deterministic
 	// for a seed; the band leaves room for intentional cost-model shifts
 	// while still catching a mutation path that stops overlapping work.
@@ -578,6 +623,53 @@ func writeX7Trace(path string, seed int64, verbose bool) error {
 	if verbose {
 		fmt.Printf("trace: x7 cell (50k/s, batch 8) -> %s: %d records, %d msgs reconciled\n",
 			path, tr.Len(), row.Sent)
+	}
+	return nil
+}
+
+// writeX11Trace runs one traced x11 syscall-rate cell at the top of the
+// rate ladder and writes its merged recorder stream to path, after
+// checking that the per-call issue/dispatch/complete records reconcile
+// with the syscall stats the table reports. cmd/hydra-trace renders the
+// file's per-mode dispatch breakdown and slowest-call list.
+func writeX11Trace(path string, seed int64, verbose bool) error {
+	rows, tr, err := experiments.RunX11CellTraced(seed, experiments.X11TopRate(), 1, &obs.Config{})
+	if err != nil {
+		return fmt.Errorf("trace-x11: %w", err)
+	}
+	if n := tr.Dropped(); n != 0 {
+		return fmt.Errorf("trace-x11: ring overflowed, %d records dropped", n)
+	}
+	counts := map[string]uint64{}
+	for _, rec := range tr.Merged() {
+		if rec.Cat == obs.CatSyscall {
+			counts[rec.Name]++
+		}
+	}
+	var issued, executed, completed uint64
+	for _, row := range rows {
+		issued += row.Issued
+		executed += row.Executed
+		completed += row.Completed
+	}
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"syscall.issue", issued},
+		{"syscall.dispatch", executed},
+		{"syscall.complete", completed},
+	} {
+		if counts[c.name] != c.want {
+			return fmt.Errorf("trace-x11: %s records %d, syscall stats say %d", c.name, counts[c.name], c.want)
+		}
+	}
+	if err := tr.WriteFile(path); err != nil {
+		return fmt.Errorf("trace-x11: %w", err)
+	}
+	if verbose {
+		fmt.Printf("trace-x11: rate cell (%d/s, all variants) -> %s: %d records, %d syscalls reconciled\n",
+			experiments.X11TopRate(), path, tr.Len(), issued)
 	}
 	return nil
 }

@@ -5,6 +5,13 @@
 // much simulated time each layer's spans cover and how many records each
 // produced — and the longest individual spans.
 //
+// Traces holding device-syscall records (the syscall component, written
+// by `hydra-bench -trace-x11`) get an extra section: the call lifecycle
+// funnel (issued→dispatched→completed plus replay/dedup counts), the
+// host dispatch cost per mode (sync/async/ff exec spans), per-op
+// device-observed completion latency, and the -top N slowest individual
+// syscalls by end-to-end span.
+//
 // With -msg ID it instead reconstructs the critical path of one message
 // through the stack: the window from the message's chan.send instant to
 // its chan.delivered instant, with every channel, bus, and host-OS span
@@ -24,6 +31,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"hydra/internal/obs"
 	"hydra/internal/sim"
@@ -55,6 +63,7 @@ func main() {
 		return
 	}
 	summarize(tr, *top)
+	summarizeSyscalls(tr, *top)
 }
 
 // nameStat aggregates one record name's rows.
@@ -169,6 +178,106 @@ func summarize(tr *obs.ChromeTrace, top int) {
 	fmt.Printf("\ntop %d spans\n", top)
 	fmt.Printf("  %-18s %-12s %14s %14s %10s\n", "name", "shard", "start", "duration", "arg")
 	for _, r := range spans[:top] {
+		fmt.Printf("  %-18s %-12s %14v %14v %10d\n",
+			r.Name, shardLabel(tr, r.Shard), r.At, r.Dur, r.Arg)
+	}
+}
+
+// summarizeSyscalls prints the device-syscall section when the trace
+// holds syscall-component records: the lifecycle funnel, the per-mode
+// host dispatch breakdown (syscall.exec.<mode> spans), the per-op
+// device-observed latency (syscall.call.<op> spans), and the top
+// slowest individual calls.
+func summarizeSyscalls(tr *obs.ChromeTrace, top int) {
+	type opStat struct {
+		name    string
+		count   int
+		total   sim.Time
+		longest sim.Time
+	}
+	counts := map[string]int{}
+	modes := map[string]*opStat{}
+	ops := map[string]*opStat{}
+	var calls []obs.Record
+	tally := func(m map[string]*opStat, key string, r *obs.Record) {
+		st := m[key]
+		if st == nil {
+			st = &opStat{name: key}
+			m[key] = st
+		}
+		st.count++
+		st.total += r.Dur
+		if r.Dur > st.longest {
+			st.longest = r.Dur
+		}
+	}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Cat != obs.CatSyscall {
+			continue
+		}
+		switch {
+		case r.Kind == obs.KindInstant:
+			counts[r.Name]++
+		case strings.HasPrefix(r.Name, "syscall.exec."):
+			tally(modes, strings.TrimPrefix(r.Name, "syscall.exec."), r)
+		case strings.HasPrefix(r.Name, "syscall.call."):
+			tally(ops, strings.TrimPrefix(r.Name, "syscall.call."), r)
+			calls = append(calls, *r)
+		}
+	}
+	if len(counts) == 0 && len(modes) == 0 && len(ops) == 0 {
+		return
+	}
+
+	fmt.Printf("\ndevice syscalls\n")
+	fmt.Printf("  issued %d, dispatched %d, completed %d; reissued %d, deduped %d, orphaned %d\n",
+		counts["syscall.issue"], counts["syscall.dispatch"], counts["syscall.complete"],
+		counts["syscall.reissue"], counts["syscall.dedup"], counts["syscall.orphan"])
+
+	rows := func(m map[string]*opStat) []*opStat {
+		out := make([]*opStat, 0, len(m))
+		for _, st := range m {
+			out = append(out, st)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+		return out
+	}
+	if len(modes) > 0 {
+		fmt.Printf("\n  host dispatch by mode (exec spans)\n")
+		fmt.Printf("  %-8s %8s %14s %14s %14s\n", "mode", "calls", "busy", "mean", "longest")
+		for _, st := range rows(modes) {
+			fmt.Printf("  %-8s %8d %14v %14v %14v\n",
+				st.name, st.count, st.total, st.total/sim.Time(st.count), st.longest)
+		}
+	}
+	if len(ops) > 0 {
+		fmt.Printf("\n  device-observed completion latency by op (call spans)\n")
+		fmt.Printf("  %-8s %8s %14s %14s %14s\n", "op", "calls", "total", "mean", "longest")
+		for _, st := range rows(ops) {
+			fmt.Printf("  %-8s %8d %14v %14v %14v\n",
+				st.name, st.count, st.total, st.total/sim.Time(st.count), st.longest)
+		}
+	}
+
+	if top <= 0 || len(calls) == 0 {
+		return
+	}
+	sort.Slice(calls, func(i, j int) bool {
+		if calls[i].Dur != calls[j].Dur {
+			return calls[i].Dur > calls[j].Dur
+		}
+		if calls[i].At != calls[j].At {
+			return calls[i].At < calls[j].At
+		}
+		return calls[i].Shard < calls[j].Shard
+	})
+	if top > len(calls) {
+		top = len(calls)
+	}
+	fmt.Printf("\n  top %d slowest syscalls (arg is the per-issuer call seq)\n", top)
+	fmt.Printf("  %-18s %-12s %14s %14s %10s\n", "name", "shard", "issued", "latency", "call")
+	for _, r := range calls[:top] {
 		fmt.Printf("  %-18s %-12s %14v %14v %10d\n",
 			r.Name, shardLabel(tr, r.Shard), r.At, r.Dur, r.Arg)
 	}

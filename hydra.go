@@ -71,6 +71,7 @@ import (
 	"hydra/internal/odf"
 	"hydra/internal/resource"
 	"hydra/internal/sim"
+	"hydra/internal/syscall"
 	"hydra/internal/testbed"
 )
 
@@ -205,6 +206,70 @@ type (
 	SweepConfig = testbed.SweepConfig
 	// Replica identifies one run of a sweep (index + seed).
 	Replica = testbed.Replica
+)
+
+// Device-initiated host syscalls: the batched reverse-RPC plane where
+// Offcodes issue typed syscalls against the host's virtual file/net
+// surface (internal/syscall; X11).
+type (
+	// SyscallProfile tunes one device's syscall plane: batch depth and
+	// coalescing window on the wire, issue-credit quota, host dispatcher
+	// workers, completion-ring size.
+	SyscallProfile = syscall.Profile
+	// SyscallStats merges the device- and host-side counters of a plane:
+	// issued, dispatched, executed, completed, denied, deduped, replayed.
+	SyscallStats = syscall.Stats
+	// SyscallIssuer is the device-side issue API: typed wrappers
+	// (Open/Read/Write/Send/MapMem/Log/Clock) over a generic Issue, with
+	// checkpoint/restore for exactly-once completion across hot-swaps.
+	SyscallIssuer = syscall.Issuer
+	// SyscallService is the host-side dispatcher: a worker pool executing
+	// unmarshaled calls against the host VFS with at-most-once dedup.
+	SyscallService = syscall.Service
+	// SyscallCompletion is what a syscall continuation receives.
+	SyscallCompletion = syscall.Completion
+	// SyscallOp names one host syscall operation (OpOpen … OpClock).
+	SyscallOp = syscall.Op
+	// SyscallMode selects blocking, completion-ring, or fire-and-forget
+	// dispatch for one call.
+	SyscallMode = syscall.Mode
+	// SyscallSpec gives a testbed host's devices syscall planes at build
+	// time (HostSpec.Syscalls).
+	SyscallSpec = testbed.SyscallSpec
+	// SyscallPlane is the live plane App.OpenSyscalls returns, with its
+	// credit node parked in the session's resource subtree.
+	SyscallPlane = core.SyscallPlane
+	// HostVFS is the virtual file/net/map surface syscalls execute
+	// against; NFS mounts extend it across the simulated network.
+	HostVFS = hostos.VFS
+)
+
+// Syscall dispatch modes.
+const (
+	// SyscallSync blocks the issuing Offcode until the completion DMA.
+	SyscallSync = syscall.ModeSync
+	// SyscallAsync returns immediately; the completion lands on the ring.
+	SyscallAsync = syscall.ModeAsync
+	// SyscallFireForget expects no completion at all.
+	SyscallFireForget = syscall.ModeFireForget
+)
+
+// Syscall plane constructors and profiles.
+var (
+	// DefaultSyscallProfile is the batched plane (batch 8, 5 µs coalesce).
+	DefaultSyscallProfile = syscall.DefaultProfile
+	// BlockingSyscallProfile disables batching: one call, one interrupt.
+	BlockingSyscallProfile = syscall.BlockingProfile
+	// NewSyscallIssuer builds a device-side issuer (attach to a channel
+	// endpoint with Attach).
+	NewSyscallIssuer = syscall.NewIssuer
+	// NewSyscallService builds the host-side dispatcher over a VFS.
+	NewSyscallService = syscall.NewService
+	// NewHostVFS builds an empty virtual file/net surface on a host.
+	NewHostVFS = hostos.NewVFS
+	// NewNFSMount adapts an NFS client into a HostVFS mount, so device
+	// syscalls reach network storage through the host surface.
+	NewNFSMount = syscall.NewNFSAdapter
 )
 
 // Cluster layer: multi-host Offcode graphs scheduled over every runtime

@@ -38,6 +38,7 @@ type Reply struct {
 var (
 	ErrBadWire     = errors.New("call: malformed wire data")
 	ErrUnsupported = errors.New("call: unsupported argument type")
+	ErrTooLarge    = errors.New("call: value exceeds wire size limits")
 )
 
 // Value type tags on the wire.
@@ -70,10 +71,16 @@ func appendValue(b []byte, v any) ([]byte, error) {
 		b = append(b, tagFloat64)
 		return binary.LittleEndian.AppendUint64(b, math.Float64bits(x)), nil
 	case string:
+		if uint64(len(x)) > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: string of %d bytes", ErrTooLarge, len(x))
+		}
 		b = append(b, tagString)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(x)))
 		return append(b, x...), nil
 	case []byte:
+		if uint64(len(x)) > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: blob of %d bytes", ErrTooLarge, len(x))
+		}
 		b = append(b, tagBytes)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(x)))
 		return append(b, x...), nil
@@ -138,8 +145,17 @@ func readBlob(b []byte) ([]byte, []byte, error) {
 // Marshal serializes a Call.
 //
 // Wire: 'C', iface u64, returnDesc u64, methodLen u16 + method,
-// argc u16, tagged values.
+// argc u16, tagged values. The u16 fields bound the method name and the
+// argument count; exceeding either is ErrTooLarge, never a silent
+// truncation (a truncated length would desynchronize the decoder into
+// reading method bytes as argument tags).
 func Marshal(c *Call) ([]byte, error) {
+	if len(c.Method) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: method name of %d bytes", ErrTooLarge, len(c.Method))
+	}
+	if len(c.Args) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: %d arguments", ErrTooLarge, len(c.Args))
+	}
 	b := []byte{'C'}
 	b = binary.LittleEndian.AppendUint64(b, uint64(c.Iface))
 	b = binary.LittleEndian.AppendUint64(b, c.ReturnDesc)
@@ -185,7 +201,15 @@ func Unmarshal(b []byte) (*Call, error) {
 // MarshalReply serializes a Reply.
 //
 // Wire: 'R', returnDesc u64, errLen u16 + err, count u16, tagged values.
+// As with Marshal, overflowing a u16 length field is ErrTooLarge rather
+// than silent truncation.
 func MarshalReply(r *Reply) ([]byte, error) {
+	if len(r.Err) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: error string of %d bytes", ErrTooLarge, len(r.Err))
+	}
+	if len(r.Results) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: %d results", ErrTooLarge, len(r.Results))
+	}
 	b := []byte{'R'}
 	b = binary.LittleEndian.AppendUint64(b, r.ReturnDesc)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Err)))

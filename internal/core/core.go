@@ -210,6 +210,10 @@ type Runtime struct {
 	migrating      bool
 	activeRec      *Recovery
 	recoveries     []*Recovery
+
+	// vfs is the host's virtual file/net surface, built lazily the first
+	// time a session opens a syscall plane (see syscalls.go).
+	vfs *hostos.VFS
 }
 
 // rootRecord remembers one successfully committed deployment root so

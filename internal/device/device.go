@@ -206,6 +206,11 @@ func (d *Device) Config() Config { return d.cfg }
 // Host returns the host machine the device is attached to.
 func (d *Device) Host() *hostos.Machine { return d.host }
 
+// Engine returns the simulation engine the device runs on. Subsystems
+// built beside the device (e.g. a syscall issuer) use it for clocks and
+// trace shards without reaching through the host.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
 // Agent returns the device's bus agent name.
 func (d *Device) Agent() bus.Agent { return bus.Agent(d.cfg.Name) }
 

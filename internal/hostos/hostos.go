@@ -85,11 +85,12 @@ type Machine struct {
 
 	tr *obs.Shard // engine's trace shard when CatHost is enabled, else nil
 
-	busy        sim.Time // accumulated CPU busy time
-	kernelBusy  sim.Time // subset spent in kernel context
-	nextAddr    uint64   // bump allocator for synthetic addresses
-	allocBytes  uint64   // lifetime bytes handed out by Alloc
-	freedBytes  uint64   // lifetime bytes returned through Free
+	busy        sim.Time       // accumulated CPU busy time
+	kernelBusy  sim.Time       // subset spent in kernel context
+	nextAddr    uint64         // bump allocator for synthetic addresses
+	allocBytes  uint64         // lifetime bytes handed out by Alloc
+	freedBytes  uint64         // lifetime bytes returned through Free
+	liveAllocs  map[uint64]int // live allocation sizes by base address
 	interrupts  uint64
 	switches    uint64
 	idleCycleRq uint64
@@ -177,6 +178,10 @@ func (m *Machine) Alloc(size int) uint64 {
 	m.nextAddr += uint64(size)
 	if size > 0 {
 		m.allocBytes += uint64(size)
+		if m.liveAllocs == nil {
+			m.liveAllocs = make(map[uint64]int)
+		}
+		m.liveAllocs[a] = size
 		if m.tr.On() {
 			m.tr.Instant(obs.CatHost, trAlloc, int64(size))
 		}
@@ -184,20 +189,45 @@ func (m *Machine) Alloc(size int) uint64 {
 	return a
 }
 
+// FreeError is the typed error Free returns for a release that does not
+// match a live allocation — a double free, a never-allocated address, or a
+// size that disagrees with what Alloc handed out. The ledger is left
+// untouched so LiveBytes stays truthful.
+type FreeError struct {
+	Addr   uint64
+	Size   int
+	Reason string
+}
+
+func (e *FreeError) Error() string {
+	return fmt.Sprintf("hostos: free of %d bytes at %#x: %s", e.Size, e.Addr, e.Reason)
+}
+
 // Free returns size bytes at addr to the allocator's accounting. Addresses
 // are never reused (the bump allocator keeps address assignment — and hence
 // cache behaviour — deterministic), but the pinned-memory ledger must
 // balance: long-lived structures such as channel ring buffers alloc at
 // creation and free at close, and LiveBytes exposes what is still held.
-func (m *Machine) Free(addr uint64, size int) {
+// A release that does not match a live allocation — freed twice, never
+// allocated, or the wrong size — returns a *FreeError and leaves the
+// ledger untouched instead of silently corrupting LiveBytes.
+func (m *Machine) Free(addr uint64, size int) error {
 	if size <= 0 {
-		return
+		return nil
 	}
-	_ = addr
+	got, ok := m.liveAllocs[addr]
+	if !ok {
+		return &FreeError{Addr: addr, Size: size, Reason: "not a live allocation (double free?)"}
+	}
+	if got != size {
+		return &FreeError{Addr: addr, Size: size, Reason: fmt.Sprintf("size mismatch (allocated %d)", got)}
+	}
+	delete(m.liveAllocs, addr)
 	m.freedBytes += uint64(size)
 	if m.tr.On() {
 		m.tr.Instant(obs.CatHost, trFree, int64(size))
 	}
+	return nil
 }
 
 // AllocBytes reports lifetime bytes handed out by Alloc.

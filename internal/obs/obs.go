@@ -53,11 +53,12 @@ const (
 	CatCore
 	CatCluster
 	CatApp
-	CatMutate // live-mutation windows: hot-swap quiesce/replay, scale events
+	CatMutate  // live-mutation windows: hot-swap quiesce/replay, scale events
+	CatSyscall // device-initiated host syscalls: issue→batch→dispatch→complete
 	numCats
 )
 
-var catNames = [numCats]string{"sim", "bus", "host", "channel", "core", "cluster", "app", "mutate"}
+var catNames = [numCats]string{"sim", "bus", "host", "channel", "core", "cluster", "app", "mutate", "syscall"}
 
 func (c Cat) String() string {
 	if int(c) < len(catNames) {

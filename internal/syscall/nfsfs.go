@@ -1,0 +1,48 @@
+package syscall
+
+import (
+	"errors"
+
+	"hydra/internal/nfs"
+)
+
+// NFSAdapter adapts an internal/nfs client to the hostos.RemoteFS mount
+// interface, so a VFS prefix (say /nfs/) is backed by a NAS over the
+// simulated network. This is the smart-disk story: a device Offcode opens
+// a path under the mount via host syscalls and transparently extends its
+// storage through NFS — the device never speaks NFS itself.
+type NFSAdapter struct {
+	c *nfs.Client
+}
+
+// NewNFSAdapter wraps the client.
+func NewNFSAdapter(c *nfs.Client) *NFSAdapter { return &NFSAdapter{c: c} }
+
+// Open looks up path, creating it when asked and absent.
+func (a *NFSAdapter) Open(path string, create bool, k func(handle uint64, err error)) {
+	a.c.Lookup(path, func(handle uint64, err error) {
+		if err != nil && create {
+			a.c.Create(path, k)
+			return
+		}
+		k(handle, err)
+	})
+}
+
+// Read forwards to NFS READ.
+func (a *NFSAdapter) Read(handle uint64, offset int64, count int, k func(data []byte, err error)) {
+	if offset < 0 {
+		k(nil, errors.New("nfs: negative offset"))
+		return
+	}
+	a.c.Read(handle, uint64(offset), count, k)
+}
+
+// Write forwards to NFS WRITE.
+func (a *NFSAdapter) Write(handle uint64, offset int64, data []byte, k func(n int, err error)) {
+	if offset < 0 {
+		k(0, errors.New("nfs: negative offset"))
+		return
+	}
+	a.c.Write(handle, uint64(offset), data, k)
+}

@@ -1,0 +1,268 @@
+// Package syscall is HYDRA's reverse-RPC subsystem: device-initiated host
+// syscalls. The paper's invocation machinery (§3.1) only flows host→device;
+// following GPU System Calls (Veselý et al.), this package lets an Offcode
+// ask the host OS for files, sockets, host memory, logging and the clock —
+// and makes that practical by aggregating requests with the channel layer's
+// Batch/Coalesce machinery so N syscalls ride one gather DMA and one host
+// interrupt.
+//
+// The shape is a classic split:
+//
+//   - the device side (Issuer) marshals typed syscalls with the
+//     internal/call codec, charges an in-flight credit against a
+//     resource.Node quota, and tracks the pending table — which it can
+//     checkpoint and restore so in-flight syscalls survive a hot-swap or
+//     failover with exactly-once completion;
+//   - the host side (Service) lands requests in a hostos.WorkerPool
+//     dispatcher, executes them against a hostos.VFS virtual file/net
+//     surface with per-op kernel cycle costs, and replies through the same
+//     channel (replies batch too — the accumulator is per source endpoint).
+//
+// Three dispatch modes: ModeSync (caller issues one call and waits),
+// ModeAsync (up to the credit limit outstanding, completions via the
+// reply ring), and ModeFireForget (no completion at all). The mode rides
+// in the top bits of the call id so the host knows whether to reply.
+package syscall
+
+import (
+	"fmt"
+	"reflect"
+
+	"hydra/internal/channel"
+	"hydra/internal/guid"
+	"hydra/internal/obs"
+	"hydra/internal/sim"
+)
+
+// IfaceGUID identifies the host-syscall interface on the wire; requests
+// are call.Call values against it, completions are call.Reply values.
+const IfaceGUID guid.GUID = 0x5C411
+
+// QuotaSyscalls is the resource.Node quota kind charged one unit per
+// in-flight syscall by an Issuer and released at completion. Sessions cap
+// an Offcode's outstanding syscalls by SetLimit on its node.
+const QuotaSyscalls = "syscalls"
+
+// Op identifies one host syscall.
+type Op uint8
+
+// The syscall surface: files, socket send, host-memory map, log, clock.
+const (
+	OpOpen Op = iota + 1
+	OpRead
+	OpWrite
+	OpClose
+	OpSend
+	OpMap
+	OpUnmap
+	OpLog
+	OpClock
+	numOps
+)
+
+var opNames = [numOps]string{"op?", "open", "read", "write", "close", "send", "map", "unmap", "log", "clock"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && o > 0 {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// OpByName maps a wire method name back to its Op.
+func OpByName(s string) (Op, bool) {
+	for i := 1; i < int(numOps); i++ {
+		if opNames[i] == s {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+// Mode selects how a syscall's completion is handled.
+type Mode uint8
+
+const (
+	// ModeSync is the blocking shape: the caller issues one call and
+	// continues only from its completion continuation.
+	ModeSync Mode = iota
+	// ModeAsync allows up to the credit limit outstanding; completions
+	// arrive on the reply ring in host execution order.
+	ModeAsync
+	// ModeFireForget expects no completion: the host executes and drops
+	// the reply. The credit is released as soon as the request is handed
+	// to the channel.
+	ModeFireForget
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeAsync:
+		return "async"
+	case ModeFireForget:
+		return "ff"
+	}
+	return "mode?"
+}
+
+// Call ids carry the mode in their top two bits so the host service can
+// tell whether to send a completion without any side table.
+const (
+	idModeShift = 62
+	idSeqMask   = (uint64(1) << idModeShift) - 1
+)
+
+func packID(seq uint64, m Mode) uint64 { return seq&idSeqMask | uint64(m)<<idModeShift }
+func idMode(id uint64) Mode            { return Mode(id >> idModeShift) }
+func idSeq(id uint64) uint64           { return id & idSeqMask }
+
+// Profile sizes one device's syscall plumbing: the channel geometry that
+// carries requests and completions, the in-flight credit limit, and the
+// width of the host dispatcher pool.
+type Profile struct {
+	Batch       int      // requests/completions per gather DMA (channel.Config.Batch)
+	Coalesce    sim.Time // interrupt coalesce window (0 = flush at end of instant)
+	Credits     int      // max in-flight syscalls per issuer
+	Workers     int      // host dispatcher pool width
+	RingEntries int      // descriptor ring depth (defaults to 256)
+	MaxMessage  int      // largest marshaled request/reply (defaults to 4096)
+}
+
+// DefaultProfile is the batched asynchronous shape X11 centers on.
+func DefaultProfile() Profile {
+	return Profile{Batch: 8, Coalesce: 5 * sim.Microsecond, Credits: 64, Workers: 2}
+}
+
+// BlockingProfile is the degenerate per-call shape: no batching, no
+// coalescing, one call in flight, one dispatcher — the baseline the
+// batched profiles are measured against.
+func BlockingProfile() Profile {
+	return Profile{Batch: 1, Coalesce: 0, Credits: 1, Workers: 1}
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Batch < 1 {
+		p.Batch = 1
+	}
+	if p.Credits < 1 {
+		p.Credits = 1
+	}
+	if p.Workers < 1 {
+		p.Workers = 1
+	}
+	if p.RingEntries == 0 {
+		p.RingEntries = 256
+	}
+	if p.MaxMessage == 0 {
+		p.MaxMessage = 4096
+	}
+	return p
+}
+
+// ChannelConfig derives the syscall channel's configuration: reliable
+// (syscalls must not be dropped on ring overrun), batched and coalesced
+// per the profile.
+func (p Profile) ChannelConfig() channel.Config {
+	p = p.withDefaults()
+	return channel.Config{
+		Reliable:    true,
+		RingEntries: p.RingEntries,
+		MaxMessage:  p.MaxMessage,
+		Batch:       p.Batch,
+		Coalesce:    p.Coalesce,
+	}
+}
+
+// Stats is the merged issue/dispatch accounting surface. The device-side
+// fields are filled by Issuer, the host-side ones by Service; Add merges
+// the two halves into one view.
+type Stats struct {
+	// Device side.
+	Issued       uint64 // syscalls accepted by Issue
+	Completed    uint64 // completions delivered to a continuation
+	Errors       uint64 // completions carrying a host error
+	FireForget   uint64 // subset of Issued that expected no completion
+	CreditDenied uint64 // issues rejected by the credit quota
+	Reissued     uint64 // in-flight calls re-sent after a Restore
+	Orphaned     uint64 // completions with no pending entry (dropped)
+
+	// Host side.
+	Dispatched  uint64 // requests decoded off the channel
+	Executed    uint64 // requests actually run against the VFS
+	Deduped     uint64 // duplicate requests answered from the reply cache
+	RepliesSent uint64 // completions written back toward the device
+}
+
+// Add accumulates other into s, merging device- and host-side halves.
+func (s *Stats) Add(other Stats) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(other)
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetUint(sv.Field(i).Uint() + ov.Field(i).Uint())
+	}
+}
+
+// Publish writes every Stats field into the registry as a gauge named
+// <prefix>.<snake_case_field>, by reflection so a new field can never be
+// silently missing from the metrics surface.
+func (s Stats) Publish(r *obs.Registry, prefix string) {
+	v := reflect.ValueOf(s)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		r.Gauge(prefix + "." + snakeCase(t.Field(i).Name)).Set(float64(v.Field(i).Uint()))
+	}
+}
+
+func snakeCase(name string) string {
+	var b []byte
+	rs := []rune(name)
+	for i, r := range rs {
+		if r >= 'A' && r <= 'Z' {
+			prevLower := i > 0 && rs[i-1] >= 'a' && rs[i-1] <= 'z'
+			nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+			if i > 0 && (prevLower || nextLower) {
+				b = append(b, '_')
+			}
+			r += 'a' - 'A'
+		}
+		b = append(b, byte(r))
+	}
+	return string(b)
+}
+
+// Trace record names (obs.CatSyscall). Per-call ids ride in the record
+// arg; the end-to-end span syscall.call.<op> runs issue→complete on the
+// device shard, and syscall.exec.<mode> is the host-side service span.
+const (
+	trIssue    = "syscall.issue"
+	trDispatch = "syscall.dispatch"
+	trComplete = "syscall.complete"
+	trReissue  = "syscall.reissue"
+	trDedup    = "syscall.dedup"
+	trOrphan   = "syscall.orphan"
+	trExec     = "syscall.exec." // + mode
+	trCallSpan = "syscall.call." // + op
+)
+
+// Completion is what a syscall continuation receives.
+type Completion struct {
+	ID      uint64
+	Op      Op
+	Results []any
+	Err     string // empty on success
+	Issued  sim.Time
+	Done    sim.Time
+}
+
+// Latency is the issue→completion span.
+func (c *Completion) Latency() sim.Time { return c.Done - c.Issued }
+
+// Error converts the wire error string to a Go error (nil on success).
+func (c *Completion) Error() error {
+	if c.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("syscall %s #%d: %s", c.Op, idSeq(c.ID), c.Err)
+}

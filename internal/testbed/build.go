@@ -14,6 +14,7 @@ import (
 	"hydra/internal/nfs"
 	"hydra/internal/obs"
 	"hydra/internal/sim"
+	"hydra/internal/syscall"
 )
 
 // System is a built Spec: every component instantiated on one engine,
@@ -63,6 +64,32 @@ type HostSystem struct {
 	Monitor *core.Monitor
 	// IdleLoad is the running background load, if the HostSpec started one.
 	IdleLoad *hostos.IdleLoad
+	// VFS is the host's virtual file/net surface, non-nil iff the HostSpec
+	// declared Syscalls (shared with the runtime's VFS when one exists).
+	VFS *hostos.VFS
+	// Syscalls holds the built host-syscall planes in device declaration
+	// order, one per device the HostSpec.Syscalls selected.
+	Syscalls []*SyscallSystem
+}
+
+// SyscallSystem is one built device↔host syscall plane.
+type SyscallSystem struct {
+	Device  *device.Device
+	Channel *channel.Channel
+	// Service is the host-side dispatcher; Issuer the device-side client,
+	// already attached to its endpoint and ready to Issue.
+	Service *syscall.Service
+	Issuer  *syscall.Issuer
+}
+
+// Syscall returns the host's syscall plane for the named device, or nil.
+func (h *HostSystem) Syscall(dev string) *SyscallSystem {
+	for _, sc := range h.Syscalls {
+		if sc.Device.Name() == dev {
+			return sc
+		}
+	}
+	return nil
 }
 
 // App returns the host's application session with the given name, or nil.
@@ -259,6 +286,11 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 		} else if len(h.Apps) > 0 {
 			return nil, fmt.Errorf("testbed: host %q declares Apps but no Runtime", h.Name)
 		}
+		if h.Syscalls != nil {
+			if err := sys.buildSyscalls(hs, h.Syscalls); err != nil {
+				return nil, err
+			}
+		}
 		if h.IdleLoad != nil {
 			hs.IdleLoad = hs.Machine.StartIdleLoad(*h.IdleLoad)
 		}
@@ -278,6 +310,53 @@ func Build(eng *sim.Engine, spec Spec) (*System, error) {
 		}
 	}
 	return sys, nil
+}
+
+// buildSyscalls wires one host-syscall plane per selected device: a
+// dedicated batched channel carrying call-coded requests device→host and
+// completions host→device, a dispatcher Service over the host VFS, and an
+// attached Issuer on the device side. Hosts with a runtime share the
+// runtime's VFS so session-opened planes see the same namespace.
+func (sys *System) buildSyscalls(hs *HostSystem, sc *SyscallSpec) error {
+	if hs.Runtime != nil {
+		hs.VFS = hs.Runtime.VFS()
+	} else {
+		hs.VFS = hostos.NewVFS(hs.Machine)
+	}
+	for _, f := range sc.Files {
+		hs.VFS.Preload(f.Path, f.Data)
+	}
+	devs := hs.Devices
+	if len(sc.Devices) > 0 {
+		devs = devs[:0:0]
+		for _, name := range sc.Devices {
+			d := hs.Device(name)
+			if d == nil {
+				return fmt.Errorf("testbed: host %q syscalls name unknown device %q", hs.Spec.Name, name)
+			}
+			devs = append(devs, d)
+		}
+	}
+	if len(devs) == 0 {
+		return fmt.Errorf("testbed: host %q declares Syscalls but has no devices", hs.Spec.Name)
+	}
+	for _, d := range devs {
+		host := channel.HostEndpoint(hs.Machine, "syscall:"+hs.Spec.Name)
+		ch, err := channel.New(hs.Eng, hs.Bus, sc.Profile.ChannelConfig(), host)
+		if err != nil {
+			return fmt.Errorf("testbed: host %q syscall channel: %w", hs.Spec.Name, err)
+		}
+		dend := channel.DeviceEndpoint(d, "syscall@"+d.Name())
+		if err := ch.Connect(dend); err != nil {
+			return fmt.Errorf("testbed: host %q syscall channel: %w", hs.Spec.Name, err)
+		}
+		svc := syscall.NewService(hs.VFS, sc.Profile)
+		svc.Attach(host)
+		iss := syscall.NewIssuer(d, sc.Profile, nil)
+		iss.Attach(dend)
+		hs.Syscalls = append(hs.Syscalls, &SyscallSystem{Device: d, Channel: ch, Service: svc, Issuer: iss})
+	}
+	return nil
 }
 
 // armMutation validates one MutationSpec against the built hosts and

@@ -44,6 +44,7 @@ import (
 	"hydra/internal/nfs"
 	"hydra/internal/obs"
 	"hydra/internal/sim"
+	"hydra/internal/syscall"
 )
 
 // Spec is a complete testbed topology. The zero value is an empty world;
@@ -189,6 +190,26 @@ type HostSpec struct {
 	// IdleLoad, when non-nil, starts background daemons after construction
 	// (the paper's "idle system" baseline).
 	IdleLoad *hostos.IdleLoadConfig
+	// Syscalls, when non-nil, gives the named devices (default: every
+	// declared device) a host-syscall plane at build time: a dedicated
+	// batched channel into a dispatcher executing against the host's VFS,
+	// plus a ready-made issuer on the device side. Hosts with a Runtime
+	// share the runtime's VFS, so testbed-built planes and session-opened
+	// planes (core.App.OpenSyscalls) see one namespace.
+	Syscalls *SyscallSpec
+}
+
+// SyscallSpec declares build-time host-syscall planes on a host.
+type SyscallSpec struct {
+	// Devices selects which of the host's devices get a plane; empty means
+	// all of them, in declaration order.
+	Devices []string
+	// Profile sizes every plane: channel batch/coalesce geometry, in-flight
+	// credit limit and dispatcher pool width. Zero fields take the
+	// syscall package defaults.
+	Profile syscall.Profile
+	// Files are pre-loaded into the host's VFS in order.
+	Files []FileSpec
 }
 
 // AppSpec declares one application session on a host's runtime.

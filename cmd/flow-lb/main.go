@@ -1,0 +1,89 @@
+// Command flow-lb drives the X12 million-flow data plane: a
+// load-balancer/firewall whose NIC-resident Offcodes run a match-action
+// pipeline over a hash-sharded flow table, fed by an open-loop generator
+// with Poisson arrivals, heavy-tailed Zipf flow sizes and constant churn.
+//
+// With no mode flag it runs one weak-scaled cell at the chosen host
+// count and prints its row: sustained msgs/s, windowed flow-table hit
+// rate, p50/p99 send→processed latency, and the conntrack/verdict/log
+// ledgers. -curve runs the full 1→8 host scaling grid plus the
+// hot-swap churn soak (serial ≡ parallel verified bit for bit) and
+// prints the evaluation-style table; -soak runs only the soak leg.
+//
+// Usage:
+//
+//	flow-lb [-hosts N] [-workers N] [-seed N] [-curve] [-soak]
+//
+// Examples:
+//
+//	flow-lb -hosts 4                 # one cell: 4 hosts, 16 shards, 320k pkts/s
+//	flow-lb -curve                   # the X12 scaling headline + soak
+//	flow-lb -soak                    # churn across a mid-run shard hot-swap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hydra/internal/experiments"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 4, "host count for a single cell (1 XScale NIC each)")
+	workers := flag.Int("workers", 4, "window worker goroutines (1 = serial; results identical)")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	curve := flag.Bool("curve", false, "run the full 1→8 host weak-scaling grid plus the soak")
+	soak := flag.Bool("soak", false, "run only the churn-under-hot-swap soak")
+	flag.Parse()
+
+	switch {
+	case *curve:
+		res, err := experiments.RunDataPlane(*seed, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.CheckDataPlaneShape(res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Render())
+
+	case *soak:
+		s, err := experiments.RunX12Soak(*seed, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flow-lb soak: %d shards over %d hosts at peak rate across a shard-00 hot-swap\n",
+			s.Shards, s.Hosts)
+		fmt.Printf("  packets: %d offered = %d processed + %d queue drops (lost %d, shed %d, misrouted %d)\n",
+			s.Offered, s.Processed, s.QueueDrops, s.Lost, s.Shed, s.Misrouted)
+		fmt.Printf("  swap: %.3f ms window, %d held/replayed, %d queued packets carried, %d processed after\n",
+			s.SwapWindowMS, s.SwapReplayed, s.QueuedAtSwap, s.PostSwapProcessed)
+		fmt.Printf("  state: checkpoint digest %x == restore digest %x\n", s.CkptDigest, s.RestoreDigest)
+		fmt.Printf("  churn: %d evictions, %d expirations, %d policy drops; log ledger %d issued == %d host lines\n",
+			s.Evicted, s.Expired, s.PolicyDrops, s.Logged, s.LogLines)
+
+	default:
+		if *hosts < 1 {
+			log.Fatal("flow-lb: -hosts must be ≥ 1")
+		}
+		row, err := experiments.RunX12Cell(*seed, *hosts, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flow-lb: %d shards over %d hosts, %d pkts/s offered (0.8 per-NIC utilization)\n",
+			row.Shards, row.Hosts, row.OfferedRateHz)
+		fmt.Printf("  sustained: %.0f msgs/s in the %v window; hit rate %.4f; latency p50 %.1f µs, p99 %.1f µs\n",
+			row.MsgsPerSec, experiments.X12Window, row.HitRate, row.P50LatUS, row.P99LatUS)
+		fmt.Printf("  packets: %d offered = %d processed + %d queue drops (shed %d, misrouted %d)\n",
+			row.Offered, row.Processed, row.QueueDrops, row.Shed, row.Misrouted)
+		fmt.Printf("  conntrack: %d lookups = %d hits + %d misses; %d inserts, %d evicted, %d expired\n",
+			row.Lookups, row.Hits, row.Misses, row.Inserts, row.Evicted, row.Expired)
+		fmt.Printf("  verdicts: %d forwarded, %d rewritten, %d counted, %d dropped\n",
+			row.Forwarded, row.Rewritten, row.Counted, row.PolicyDrops)
+		fmt.Printf("  flows: %d spawned, %d retired (churn); stream digest %x\n",
+			row.FlowsSpawned, row.FlowsRetired, row.GenDigest)
+		fmt.Printf("  log ledger: %d fire-forget syscalls == %d host log lines\n",
+			row.Logged, row.LogLines)
+	}
+}

@@ -24,10 +24,14 @@
 // (capacity saved, hot-swap window, replayed client messages), and
 // `-json -scenario x11-syscalls` as the device-syscall dispatch baseline
 // (host cycles/syscall per variant×rate, p99 completion latency,
-// hot-swap replay window). The x9 scenario runs its grid twice — serial,
+// hot-swap replay window), and `-json -scenario x12-dataplane` as the
+// sharded data-plane baseline (aggregate msgs/s and windowed hit
+// rate/latency per host count, the 4-host scaling headline, the churn
+// soak's swap window). The x9 scenario runs its grid twice — serial,
 // then the Sweep pool — and fails unless the rows are bit-identical; x10
-// does the same for its elastic cell's window bodies, and x11 for every
-// rate cell of its syscall grid.
+// does the same for its elastic cell's window bodies, x11 for every
+// rate cell of its syscall grid, and x12 for every host count of its
+// weak-scaling grid plus the soak (rows and flow traces).
 //
 // Two scenarios gate the simulator core itself: `engine` runs the
 // chain/wide/churn microbenchmarks (events/sec and allocs/event for the
@@ -37,11 +41,11 @@
 // the rows match bit for bit. The -baseline flag compares the current
 // run against an archived BENCH_*.json and fails on a regression:
 // *_events_per_sec and *_msgs_per_sec must stay above 0.8× the
-// baseline, *_cycles_per_msg and *_cycles_per_syscall below 1.25×, and
-// *_swap_window_ms below 1.5× (the hot-swap quiesce window must not
-// quietly lengthen). CI runs `-scenario
-// engine,x7-saturation,x9-cluster,x10-autoscale,x11-syscalls -baseline
-// BENCH_0009.json` per commit.
+// baseline, *_cycles_per_msg, *_cycles_per_syscall and *_p99_lat_us
+// below 1.25×, and *_swap_window_ms below 1.5× (the hot-swap quiesce
+// window must not quietly lengthen). CI runs `-scenario
+// engine,x7-saturation,x9-cluster,x10-autoscale,x11-syscalls,x12-dataplane
+// -baseline BENCH_0010.json` per commit.
 //
 // The -trace flag additionally runs one traced x7 saturation cell and
 // writes its merged recorder stream as Chrome trace-event JSON
@@ -49,11 +53,13 @@
 // unless the per-message trace records reconcile with channel.Stats.
 // -trace-x11 does the same for one x11 syscall-rate cell, reconciling
 // the per-call issue/dispatch/complete records against the syscall
-// stats. cmd/hydra-trace summarizes either file.
+// stats, and -trace-x12 for one x12 data-plane cell, reconciling the
+// per-packet flow events (hit/miss/insert/evict/expire/drop) against
+// the flow-table ledgers. cmd/hydra-trace summarizes any of the files.
 //
 // Usage:
 //
-//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario a,b,...] [-baseline file] [-trace out.json] [-trace-x11 out.json]
+//	hydra-bench [-quick] [-seed N] [-json] [-sweep N] [-workers N] [-scenario a,b,...] [-baseline file] [-trace out.json] [-trace-x11 out.json] [-trace-x12 out.json]
 package main
 
 import (
@@ -96,6 +102,7 @@ func main() {
 	baseline := flag.String("baseline", "", "BENCH_*.json to compare against: fail if throughput or cycles/msg metrics regress")
 	tracePath := flag.String("trace", "", "run one traced x7 cell and write its trace here (.json Chrome trace-event, .csv CSV)")
 	traceX11 := flag.String("trace-x11", "", "run one traced x11 syscall-rate cell and write its trace here (same formats)")
+	traceX12 := flag.String("trace-x12", "", "run one traced x12 data-plane cell and write its flow trace here (same formats)")
 	flag.Parse()
 
 	// selected is the requested scenario set (empty = run everything);
@@ -115,6 +122,8 @@ func main() {
 			name = "x10-autoscale"
 		case "x11": // short alias for the device-syscall rate grid
 			name = "x11-syscalls"
+		case "x12": // short alias for the data-plane scaling grid
+			name = "x12-dataplane"
 		}
 		selected[name] = true
 	}
@@ -397,6 +406,37 @@ func main() {
 		return m, res.Render(), nil
 	})
 
+	timed("x12-dataplane", func() (map[string]float64, string, error) {
+		// The weak-scaling grid runs every host count twice — serial,
+		// then the per-host engine group on many workers — plus the
+		// churn-under-hot-swap soak, and RunDataPlane fails unless rows
+		// match bit for bit. CheckDataPlaneShape gates conservation, the
+		// exactly-once log ledger, hit rate under churn and the 4-host
+		// scaling headline.
+		res, err := experiments.RunDataPlane(*seed, *workers)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := experiments.CheckDataPlaneShape(res); err != nil {
+			return nil, "", err
+		}
+		m := map[string]float64{}
+		for _, row := range res.Rows {
+			key := fmt.Sprintf("hosts%d", row.Hosts)
+			m[key+"_msgs_per_sec"] = row.MsgsPerSec
+			m[key+"_hit_rate"] = row.HitRate
+			m[key+"_p50_lat_us"] = row.P50LatUS
+			m[key+"_p99_lat_us"] = row.P99LatUS
+			m[key+"_log_lines"] = float64(row.LogLines)
+		}
+		m["scaling_4h_over_1h"] = res.Scaling4
+		m["soak_swap_window_ms"] = res.Soak.SwapWindowMS
+		m["soak_replayed"] = float64(res.Soak.SwapReplayed)
+		m["soak_evicted"] = float64(res.Soak.Evicted)
+		m["soak_log_lines"] = float64(res.Soak.LogLines)
+		return m, res.Render(), nil
+	})
+
 	timed("engine", func() (map[string]float64, string, error) {
 		eb, err := experiments.RunEngineBench(*seed, experiments.EngineBenchEvents)
 		if err != nil {
@@ -467,6 +507,9 @@ func main() {
 	if *traceX11 != "" {
 		check(writeX11Trace(*traceX11, *seed, verbose))
 	}
+	if *traceX12 != "" {
+		check(writeX12Trace(*traceX12, *seed, verbose))
+	}
 
 	if *baseline != "" {
 		check(compareBaseline(rep, *baseline, verbose))
@@ -508,6 +551,10 @@ var baselineClasses = []baselineClass{
 	// as cycles/msg: virtual-clock deterministic, ceiling leaves room for
 	// intentional dispatch cost-model changes.
 	{suffix: "_cycles_per_syscall", band: cyclesBand, ceiling: true},
+	// Tail latency (x11 syscall completion, x12 data-plane send→process)
+	// is virtual-clock deterministic per seed; the ceiling catches queueing
+	// regressions while leaving room for intentional cost-model shifts.
+	{suffix: "_p99_lat_us", band: cyclesBand, ceiling: true},
 	// The hot-swap quiesce→replay window is virtual-clock deterministic
 	// for a seed; the band leaves room for intentional cost-model shifts
 	// while still catching a mutation path that stops overlapping work.
@@ -670,6 +717,49 @@ func writeX11Trace(path string, seed int64, verbose bool) error {
 	if verbose {
 		fmt.Printf("trace-x11: rate cell (%d/s, all variants) -> %s: %d records, %d syscalls reconciled\n",
 			experiments.X11TopRate(), path, tr.Len(), issued)
+	}
+	return nil
+}
+
+// writeX12Trace runs one traced x12 data-plane cell (4 hosts, serial)
+// and writes its merged recorder stream to path, after checking that the
+// per-packet flow-event records (hit/miss/insert/evict/expire/drop)
+// reconcile exactly with the flow-table ledgers the row reports.
+func writeX12Trace(path string, seed int64, verbose bool) error {
+	row, tr, err := experiments.RunX12CellTraced(seed, 4, 1, &obs.Config{})
+	if err != nil {
+		return fmt.Errorf("trace-x12: %w", err)
+	}
+	if n := tr.Dropped(); n != 0 {
+		return fmt.Errorf("trace-x12: ring overflowed, %d records dropped", n)
+	}
+	counts := map[string]uint64{}
+	for _, rec := range tr.Merged() {
+		if rec.Cat == obs.CatFlow {
+			counts[rec.Name]++
+		}
+	}
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"flow.hit", row.Hits},
+		{"flow.miss", row.Misses},
+		{"flow.insert", row.Inserts},
+		{"flow.evict", row.Evicted},
+		{"flow.expire", row.Expired},
+		{"flow.drop", row.PolicyDrops},
+	} {
+		if counts[c.name] != c.want {
+			return fmt.Errorf("trace-x12: %s records %d, flow-table stats say %d", c.name, counts[c.name], c.want)
+		}
+	}
+	if err := tr.WriteFile(path); err != nil {
+		return fmt.Errorf("trace-x12: %w", err)
+	}
+	if verbose {
+		fmt.Printf("trace-x12: data-plane cell (4 hosts, %d pkts/s) -> %s: %d records, %d lookups reconciled\n",
+			row.OfferedRateHz, path, tr.Len(), row.Lookups)
 	}
 	return nil
 }

@@ -2,6 +2,12 @@
 // NIC — the generalization of TCP offload the paper argues for in §1.1 —
 // and compares it against host-side filtering of the same flow: interrupts,
 // DMA crossings and cycles disappear from the host.
+//
+// This is the two-minute, single-NIC introduction. The production-scale
+// version of the same idea is the X12 data plane (internal/experiments,
+// cmd/flow-lb): sharded match-action pipelines with connection tracking,
+// open-loop flow churn, weak scaling across hosts, and hot-swap under
+// load.
 package main
 
 import (

@@ -64,9 +64,11 @@ import (
 	"hydra/internal/depot"
 	"hydra/internal/device"
 	"hydra/internal/faults"
+	"hydra/internal/flowtable"
 	"hydra/internal/guid"
 	"hydra/internal/hostos"
 	"hydra/internal/layout"
+	"hydra/internal/loadgen"
 	"hydra/internal/objfile"
 	"hydra/internal/odf"
 	"hydra/internal/resource"
@@ -336,6 +338,68 @@ type (
 	// AutoscaleDecision records one controller epoch: rate, utilization,
 	// shard count and the action taken.
 	AutoscaleDecision = autoscale.Decision
+)
+
+// Data plane: shard-local match-action pipelines over connection-tracking
+// flow tables, plus the open-loop flow-churn generator that drives them
+// (internal/flowtable, internal/loadgen; X12).
+type (
+	// FlowKey is the 13-byte packed five-tuple identifying one flow;
+	// FlowKey.Shard hashes it to a cluster shard (RSS style).
+	FlowKey = flowtable.Key
+	// FlowAction is a cached per-flow verdict (FlowForward …).
+	FlowAction = flowtable.Action
+	// FlowTableConfig bounds one shard-local table: a byte quota
+	// (capacity = quota / 64-byte entries) and an idle timeout.
+	FlowTableConfig = flowtable.Config
+	// FlowTable is one shard's conntrack state: hash map + intrusive LRU
+	// under a memory quota, with bit-exact Checkpoint/Restore/Digest.
+	FlowTable = flowtable.Table
+	// FlowTableStats counts lookups/hits/misses/inserts/evictions/
+	// expirations over a table's lifetime (carried across hot-swaps).
+	FlowTableStats = flowtable.Stats
+	// FlowRule maps a match (dst-port range) to a verdict for
+	// first-packet classification.
+	FlowRule = flowtable.Rule
+	// FlowPipelineConfig assembles a match-action pipeline: rules, the
+	// table quota, rewrite backends.
+	FlowPipelineConfig = flowtable.PipelineConfig
+	// FlowPipeline is the NIC-resident match-action pipeline: cached
+	// verdicts from the flow table, rule classification on a miss.
+	FlowPipeline = flowtable.Pipeline
+	// LoadGenConfig tunes the open-loop generator: rate, Poisson tick,
+	// concurrent flows, Zipf size tail, destination port mix.
+	LoadGenConfig = loadgen.Config
+	// LoadGen is the open-loop flow-churn generator; Digest is its
+	// determinism witness.
+	LoadGen = loadgen.Gen
+	// LoadGenPacket is one generated packet: flow key, sequence number,
+	// payload size, and whether it retires its flow.
+	LoadGenPacket = loadgen.Packet
+)
+
+// Flow verdicts.
+const (
+	// FlowForward passes the packet through unchanged.
+	FlowForward = flowtable.ActForward
+	// FlowRewrite rewrites to a load-balanced backend.
+	FlowRewrite = flowtable.ActRewrite
+	// FlowDrop drops at the NIC.
+	FlowDrop = flowtable.ActDrop
+	// FlowCount counts and forwards.
+	FlowCount = flowtable.ActCount
+)
+
+// Data-plane constructors.
+var (
+	// NewFlowTable builds an empty conntrack table under a config.
+	NewFlowTable = flowtable.New
+	// NewFlowPipeline builds a match-action pipeline (table + rules).
+	NewFlowPipeline = flowtable.NewPipeline
+	// DecodeFlowKey parses a 13-byte wire key.
+	DecodeFlowKey = flowtable.DecodeKey
+	// NewLoadGen builds a seeded open-loop generator.
+	NewLoadGen = loadgen.New
 )
 
 // Fault injection and self-healing: declarative fault schedules replayed by

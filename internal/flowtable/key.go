@@ -1,0 +1,106 @@
+// Package flowtable is the data-plane core of the X12 load-balancer/
+// firewall scenario: a connection-tracking flow table keyed by the
+// classic 5-tuple, bounded by a byte quota with LRU eviction and idle
+// timeout, plus a match-action Pipeline (first-match wildcard rules →
+// forward / rewrite / drop / count) whose verdicts are cached per flow.
+//
+// The table is deliberately shard-local: RSS-style sharding routes every
+// packet of a flow to Key.Shard(n) of n shards, so n independent Tables
+// partition the flow space with no cross-shard state. Everything is
+// deterministic — iteration order never leaks from Go's map (the LRU
+// list is the only ordered walk), so Checkpoint/Restore round-trips are
+// bit-exact and a hot-swapped shard resumes from an identical table.
+//
+// Tracing is optional and costs one branch when disabled: every recorder
+// call sits behind the obs.Shard.On() guard, emitting flow.hit /
+// flow.miss / flow.insert / flow.evict / flow.expire / flow.drop
+// instants under obs.CatFlow.
+package flowtable
+
+import "fmt"
+
+// KeyBytes is the encoded size of a Key: 4+4 IPs, 2+2 ports, 1 proto.
+const KeyBytes = 13
+
+// Key is the connection 5-tuple identifying one flow.
+type Key struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Put encodes k into b, which must hold at least KeyBytes. Layout is
+// little-endian: SrcIP, DstIP, SrcPort, DstPort, Proto.
+func (k Key) Put(b []byte) {
+	_ = b[KeyBytes-1]
+	b[0] = byte(k.SrcIP)
+	b[1] = byte(k.SrcIP >> 8)
+	b[2] = byte(k.SrcIP >> 16)
+	b[3] = byte(k.SrcIP >> 24)
+	b[4] = byte(k.DstIP)
+	b[5] = byte(k.DstIP >> 8)
+	b[6] = byte(k.DstIP >> 16)
+	b[7] = byte(k.DstIP >> 24)
+	b[8] = byte(k.SrcPort)
+	b[9] = byte(k.SrcPort >> 8)
+	b[10] = byte(k.DstPort)
+	b[11] = byte(k.DstPort >> 8)
+	b[12] = k.Proto
+}
+
+// Encode returns k's canonical KeyBytes wire form.
+func (k Key) Encode() []byte {
+	b := make([]byte, KeyBytes)
+	k.Put(b)
+	return b
+}
+
+// DecodeKey parses the canonical wire form. Every 13-byte input is a
+// valid key and round-trips bit-exactly through Encode.
+func DecodeKey(b []byte) (Key, error) {
+	if len(b) != KeyBytes {
+		return Key{}, fmt.Errorf("flowtable: key is %d bytes, want %d", len(b), KeyBytes)
+	}
+	return Key{
+		SrcIP:   uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24,
+		DstIP:   uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
+		SrcPort: uint16(b[8]) | uint16(b[9])<<8,
+		DstPort: uint16(b[10]) | uint16(b[11])<<8,
+		Proto:   b[12],
+	}, nil
+}
+
+// FNV-1a 64-bit constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash is FNV-1a over the encoded key — the RSS hash every layer agrees
+// on (generator, frontend routing, shard-disjointness checks).
+func (k Key) Hash() uint64 {
+	var b [KeyBytes]byte
+	k.Put(b[:])
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Shard maps the key onto one of n shards by its hash. Every packet of a
+// flow lands on the same shard, so shard-local tables partition the flow
+// space.
+func (k Key) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(k.Hash() % uint64(n))
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d/%d",
+		byte(k.SrcIP), byte(k.SrcIP>>8), byte(k.SrcIP>>16), byte(k.SrcIP>>24), k.SrcPort,
+		byte(k.DstIP), byte(k.DstIP>>8), byte(k.DstIP>>16), byte(k.DstIP>>24), k.DstPort, k.Proto)
+}

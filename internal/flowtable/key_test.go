@@ -1,0 +1,83 @@
+package flowtable
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		k := Key{SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16)),
+			Proto: uint8(rng.Intn(256))}
+		got, err := DecodeKey(k.Encode())
+		if err != nil {
+			t.Fatalf("decode(%v): %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("round trip %v -> %v", k, got)
+		}
+	}
+	if _, err := DecodeKey(make([]byte, KeyBytes-1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := DecodeKey(make([]byte, KeyBytes+1)); err == nil {
+		t.Fatal("long buffer accepted")
+	}
+}
+
+func TestKeyHashMatchesEncodedBytes(t *testing.T) {
+	// Hash must be FNV-1a over the canonical encoding, so every layer
+	// (generator, frontend RSS routing, shard checks) agrees.
+	k := Key{SrcIP: 0x01020304, DstIP: 0xA0B0C0D0, SrcPort: 80, DstPort: 443, Proto: 6}
+	h := uint64(fnvOffset)
+	for _, c := range k.Encode() {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	if k.Hash() != h {
+		t.Fatalf("Hash %x, FNV over Encode %x", k.Hash(), h)
+	}
+	if k.Shard(1) != 0 || k.Shard(0) != 0 {
+		t.Fatal("degenerate shard counts must map to 0")
+	}
+	if want := int(h % 16); k.Shard(16) != want {
+		t.Fatalf("Shard(16) = %d, want %d", k.Shard(16), want)
+	}
+}
+
+// FuzzKeyCodec fuzzes the 5-tuple codec both ways: any 13-byte input
+// decodes and re-encodes bit-exactly; any other length is rejected; and
+// the decoded key's hash equals FNV-1a over the input.
+func FuzzKeyCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, KeyBytes))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := DecodeKey(data)
+		if len(data) != KeyBytes {
+			if err == nil {
+				t.Fatalf("decoded %d bytes without error", len(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("13-byte input rejected: %v", err)
+		}
+		if !bytes.Equal(k.Encode(), data) {
+			t.Fatalf("re-encode of %v != input % x", k, data)
+		}
+		h := uint64(fnvOffset)
+		for _, c := range data {
+			h ^= uint64(c)
+			h *= fnvPrime
+		}
+		if k.Hash() != h {
+			t.Fatalf("hash %x, FNV over wire bytes %x", k.Hash(), h)
+		}
+	})
+}

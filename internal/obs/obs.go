@@ -55,10 +55,11 @@ const (
 	CatApp
 	CatMutate  // live-mutation windows: hot-swap quiesce/replay, scale events
 	CatSyscall // device-initiated host syscalls: issue→batch→dispatch→complete
+	CatFlow    // data-plane flow tables: hit/miss/insert/evict/expire/drop
 	numCats
 )
 
-var catNames = [numCats]string{"sim", "bus", "host", "channel", "core", "cluster", "app", "mutate", "syscall"}
+var catNames = [numCats]string{"sim", "bus", "host", "channel", "core", "cluster", "app", "mutate", "syscall", "flow"}
 
 func (c Cat) String() string {
 	if int(c) < len(catNames) {
